@@ -1,0 +1,181 @@
+package rubik_test
+
+// One benchmark per table/figure of the paper's evaluation (quick
+// fidelity), plus micro-benchmarks of the primitives on Rubik's hot paths:
+// the per-event frequency decision, the periodic target-tail-table
+// rebuild, the FFT convolutions behind it, and the event-driven simulator
+// itself. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"rubik"
+	rubikcore "rubik/internal/core"
+	"rubik/internal/experiments"
+	"rubik/internal/policy"
+	"rubik/internal/queueing"
+	"rubik/internal/stats"
+	"rubik/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiments.Options{Quick: true, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAndRender(id, opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Paper artifacts.
+func BenchmarkFig1a(b *testing.B)                { benchExperiment(b, "fig1a") }
+func BenchmarkFig1b(b *testing.B)                { benchExperiment(b, "fig1b") }
+func BenchmarkFig2a(b *testing.B)                { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)                { benchExperiment(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B)                { benchExperiment(b, "fig2c") }
+func BenchmarkTable1(b *testing.B)               { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)               { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)               { benchExperiment(b, "table3") }
+func BenchmarkFig6(b *testing.B)                 { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)                 { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)                 { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)                 { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)                { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)                { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)                { benchExperiment(b, "fig12") }
+func BenchmarkPowerModelValidation(b *testing.B) { benchExperiment(b, "pmv") }
+func BenchmarkFig15(b *testing.B)                { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)                { benchExperiment(b, "fig16") }
+func BenchmarkAblation(b *testing.B)             { benchExperiment(b, "ablation") }
+func BenchmarkPegasus(b *testing.B)              { benchExperiment(b, "pegasus") }
+
+// Micro-benchmarks of the hot paths.
+
+// BenchmarkTailTableBuild measures one periodic target-tail-table refresh
+// (the paper reports 0.2 ms per update on its testbed).
+func BenchmarkTailTableBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	comp := make([]float64, 4096)
+	mem := make([]float64, 4096)
+	for i := range comp {
+		comp[i] = 250e3 * (0.5 + r.Float64())
+		mem[i] = 20e3 * (0.5 + r.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rubikcore.BuildTailTable(comp, mem, 0.95, 128, 8, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRubikDecision measures one arrival/completion frequency
+// decision (paper Sec. 4.2: "computing each constraint requires few
+// instructions").
+func BenchmarkRubikDecision(b *testing.B) {
+	ctl, err := rubik.NewController(1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	comp := make([]float64, 512)
+	mem := make([]float64, 512)
+	for i := range comp {
+		comp[i] = 250e3 * (0.5 + r.Float64())
+		mem[i] = 20e3 * (0.5 + r.Float64())
+	}
+	if err := ctl.Bootstrap(comp, mem); err != nil {
+		b.Fatal(err)
+	}
+	v := queueing.View{
+		Now:        1_000_000,
+		CurrentMHz: 1600,
+		Queue: []queueing.QueuedRequest{
+			{Arrival: 100_000}, {Arrival: 400_000}, {Arrival: 900_000},
+		},
+		HeadElapsedCycles: 120e3,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := ctl.OnEvent(v); f <= 0 {
+			b.Fatal("bad decision")
+		}
+	}
+}
+
+// BenchmarkEventSim measures the event-driven server simulating masstree
+// under Rubik (ns per simulated request ≈ reported time / 2000).
+func BenchmarkEventSim(b *testing.B) {
+	app := workload.Masstree()
+	tr := workload.GenerateAtLoad(app, 0.5, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl, err := rubik.NewController(500_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rubik.Simulate(tr, ctl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures the analytic FIFO replay the oracles use.
+func BenchmarkReplay(b *testing.B) {
+	app := workload.Masstree()
+	tr := workload.GenerateAtLoad(app, 0.5, 5000, 4)
+	freqs := policy.UniformAssignment(len(tr.Requests), 2400)
+	cfg := policy.DefaultReplayConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.Replay(tr, freqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicOracle measures the strongest oracle's schedule search.
+func BenchmarkDynamicOracle(b *testing.B) {
+	app := workload.Masstree()
+	tr := workload.GenerateAtLoad(app, 0.5, 3000, 5)
+	grid := rubik.DefaultGrid()
+	cfg := policy.DefaultReplayConfig()
+	rep, err := policy.Replay(tr, policy.UniformAssignment(len(tr.Requests), 2400), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := rep.TailNs(0.95)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.DynamicOracle(tr, grid, bound, 0.95, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvolutionFFT measures the FFT-based 16-position convolution
+// chain at the paper's 128-bucket resolution.
+func BenchmarkConvolutionFFT(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	p := make([]float64, 128)
+	var tot float64
+	for i := range p {
+		p[i] = r.Float64()
+		tot += p[i]
+	}
+	for i := range p {
+		p[i] /= tot
+	}
+	d := stats.PMF{Origin: 0, Width: 1000, P: p}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.IterConvolutions(d, d, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command rubiksim regenerates the tables and figures of the Rubik paper
+// (Kasture et al., MICRO 2015) from the reproduction's simulators.
+//
+// Usage:
+//
+//	rubiksim -list                 list the available experiments
+//	rubiksim -exp fig6             run one experiment at paper fidelity
+//	rubiksim -exp all -quick       smoke-run everything with small traces
+//	rubiksim -exp fig9 -out fig9.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rubik/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (see -list), or \"all\"")
+		list  = flag.Bool("list", false, "list available experiments")
+		quick = flag.Bool("quick", false, "reduced request counts (smoke mode)")
+		seed  = flag.Int64("seed", 42, "random seed")
+		out   = flag.String("out", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rubiksim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Fprintf(w, "== %s ==\n", id)
+		if err := experiments.RunAndRender(id, opts, w); err != nil {
+			fmt.Fprintln(os.Stderr, "rubiksim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

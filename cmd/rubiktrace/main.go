@@ -1,0 +1,98 @@
+// Command rubiktrace generates, inspects and summarizes latency-critical
+// request traces — the unit of reproducibility in this repository: every
+// scheme in a comparison replays the same trace (paper Sec. 5.3).
+//
+// Usage:
+//
+//	rubiktrace -gen -app masstree -load 0.4 -n 9000 -seed 7 -out m40.json
+//	rubiktrace -describe m40.json
+//	rubiktrace -apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rubik/internal/cpu"
+	"rubik/internal/workload"
+)
+
+func main() {
+	var (
+		gen      = flag.Bool("gen", false, "generate a trace")
+		describe = flag.String("describe", "", "summarize a saved trace file")
+		listApps = flag.Bool("apps", false, "list available application models")
+		appName  = flag.String("app", "masstree", "application model")
+		load     = flag.Float64("load", 0.5, "load fraction of nominal capacity")
+		n        = flag.Int("n", 0, "requests (0 = the app's Table 3 count)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	switch {
+	case *listApps:
+		fmt.Printf("%-10s %-10s %-14s %s\n", "app", "requests", "mean service", "workload")
+		for _, a := range workload.Apps() {
+			fmt.Printf("%-10s %-10d %-14s %s\n", a.Name, a.Requests,
+				fmt.Sprintf("%.3f ms", a.MeanServiceNsAtNominal()/1e6), a.Workload)
+		}
+	case *gen:
+		app, err := workload.AppByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		count := *n
+		if count == 0 {
+			count = app.Requests
+		}
+		tr := workload.GenerateAtLoad(app, *load, count, *seed)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.Save(w); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			printStats(tr)
+		}
+	case *describe != "":
+		f, err := os.Open(*describe)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := workload.Load(f)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(tr)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(tr workload.Trace) {
+	s := tr.Describe(cpu.NominalMHz)
+	fmt.Printf("app            %s (seed %d)\n", tr.App, tr.Seed)
+	fmt.Printf("requests       %d over %.3f s\n", s.Requests, float64(s.DurationNs)/1e9)
+	fmt.Printf("offered load   %.1f%% of nominal capacity\n", s.OfferedLoad*100)
+	fmt.Printf("service @2.4G  mean %.3f ms, cv %.2f, p50/p95/p99 %.3f/%.3f/%.3f ms\n",
+		s.MeanServiceNs/1e6, s.CVService,
+		s.P50ServiceNs/1e6, s.P95ServiceNs/1e6, s.P99ServiceNs/1e6)
+	fmt.Printf("memory-bound   %.0f%% of work time\n", s.MemShare*100)
+	fmt.Printf("interarrival   mean %.3f ms\n", s.MeanInterarrivalNs/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rubiktrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,375 @@
+package coloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rubik/internal/cpu"
+	"rubik/internal/queueing"
+	"rubik/internal/sim"
+	"rubik/internal/workload"
+)
+
+// CoreConfig describes one colocated core: an LC app instance sharing the
+// core with one batch app. The LC app has strict priority — it runs
+// whenever it has pending requests, and the batch app soaks up the idle
+// gaps (paper Fig. 13c).
+type CoreConfig struct {
+	App   workload.LCApp
+	Batch workload.BatchApp
+	// Trace is the LC request stream.
+	Trace workload.Trace
+	// LCPolicy decides LC frequencies (nil when an external allocator —
+	// HW-T / HW-TPW — owns the frequency).
+	LCPolicy queueing.Policy
+	// BatchMHz is the frequency the core drops to while batch occupies it
+	// (ignored when ExternalFreq).
+	BatchMHz int
+	// ExternalFreq marks cores whose frequency is set by a server-level
+	// allocator each epoch.
+	ExternalFreq bool
+
+	Grid              cpu.Grid
+	Power             cpu.PowerModel
+	TransitionLatency sim.Time
+	InitialMHz        int
+	Interference      Interference
+}
+
+// CoreResult summarizes one colocated core's run.
+type CoreResult struct {
+	Completions []queueing.Completion
+	// LCEnergyJ and BatchEnergyJ split core energy by occupant.
+	LCEnergyJ    float64
+	BatchEnergyJ float64
+	// BatchUnits is the batch work completed in the LC idle gaps.
+	BatchUnits  float64
+	LCBusyNs    float64
+	BatchBusyNs float64
+	EndTime     sim.Time
+}
+
+// TailNs returns the q-quantile LC response latency after warmup.
+func (r CoreResult) TailNs(q, warmupFrac float64) float64 {
+	skip := int(warmupFrac * float64(len(r.Completions)))
+	if skip >= len(r.Completions) {
+		return 0
+	}
+	vals := make([]float64, 0, len(r.Completions)-skip)
+	for _, c := range r.Completions[skip:] {
+		vals = append(vals, c.ResponseNs)
+	}
+	return percentile(vals, q)
+}
+
+type colReq struct {
+	req          workload.Request
+	remainingCC  float64
+	remainingMem float64
+	elapsedCC    float64
+	elapsedMem   float64
+	start        sim.Time
+	qlenAtArr    int
+	started      bool
+}
+
+// core is the colocated-core simulator. It mirrors queueing.server but
+// fills LC idle time with batch execution and applies the core-state
+// interference model when the LC app resumes.
+type core struct {
+	eng *sim.Engine
+	cfg CoreConfig
+
+	next  int
+	queue []*colReq
+
+	cur           int
+	target        int
+	switchPending bool
+	lastAccrual   sim.Time
+	gen           uint64
+
+	// Interference state.
+	batchOccupiedNs float64 // duration of the most recent batch occupancy
+	occupancyStart  sim.Time
+	batchRunning    bool
+	lcMeanCycles    float64 // the LC app's working-set proxy
+
+	res CoreResult
+}
+
+// newCore validates the config and prepares a core on the given engine.
+func newCore(eng *sim.Engine, cfg CoreConfig) (*core, error) {
+	if cfg.Grid.Len() == 0 {
+		return nil, fmt.Errorf("coloc: empty grid")
+	}
+	if cfg.InitialMHz == 0 {
+		cfg.InitialMHz = cpu.NominalMHz
+	}
+	if cfg.Grid.Index(cfg.InitialMHz) < 0 {
+		return nil, fmt.Errorf("coloc: initial frequency %d not on grid", cfg.InitialMHz)
+	}
+	if !cfg.ExternalFreq && cfg.BatchMHz == 0 {
+		cfg.BatchMHz = cfg.Batch.OptimalTPWFreq(cfg.Grid, cfg.Power)
+	}
+	c := &core{
+		eng:          eng,
+		cfg:          cfg,
+		cur:          cfg.InitialMHz,
+		target:       cfg.InitialMHz,
+		batchRunning: true, // batch occupies the core until LC work arrives
+		lcMeanCycles: cfg.App.Compute.Mean(),
+	}
+	return c, nil
+}
+
+// start schedules the first arrival and policy tick.
+func (c *core) start() {
+	if len(c.cfg.Trace.Requests) > 0 {
+		c.eng.At(c.cfg.Trace.Requests[0].Arrival, c.arrivalEvent)
+	}
+	if t, ok := c.cfg.LCPolicy.(queueing.Ticker); ok && t.TickEvery() > 0 {
+		c.eng.After(t.TickEvery(), func() { c.tickEvent(t) })
+	}
+	if c.batchRunning {
+		c.occupancyStart = c.eng.Now()
+		if !c.cfg.ExternalFreq {
+			c.applyFreq(c.cfg.BatchMHz)
+		}
+	}
+}
+
+func (c *core) accrue() {
+	now := c.eng.Now()
+	dt := now - c.lastAccrual
+	c.lastAccrual = now
+	if dt <= 0 {
+		return
+	}
+	dtNs := float64(dt)
+	if len(c.queue) == 0 {
+		// Batch occupies the core: accrue units and batch energy.
+		c.res.BatchUnits += c.cfg.Batch.UnitsPerSec(c.cur) * dtNs / 1e9
+		c.res.BatchEnergyJ += c.cfg.Batch.PowerW(c.cur, c.cfg.Power) * dtNs / 1e9
+		c.res.BatchBusyNs += dtNs
+		return
+	}
+	c.res.LCEnergyJ += c.cfg.Power.ActivePower(c.cur) * dtNs / 1e9
+	c.res.LCBusyNs += dtNs
+	head := c.queue[0]
+	total := head.remainingCC*1000/float64(c.cur) + head.remainingMem
+	if total <= 0 {
+		return
+	}
+	alpha := dtNs / total
+	if alpha > 1 {
+		alpha = 1
+	}
+	dCC := head.remainingCC * alpha
+	dMem := head.remainingMem * alpha
+	head.remainingCC -= dCC
+	head.remainingMem -= dMem
+	head.elapsedCC += dCC
+	head.elapsedMem += dMem
+}
+
+// beginService applies the interference model to the request taking the
+// head of the queue. The request that resumes the LC app after a batch
+// occupancy pays the one-time re-warming cycles and the context-switch
+// latency; later requests of the busy period run on a warm core.
+func (c *core) beginService(a *colReq, preempting bool) {
+	now := c.eng.Now()
+	a.start = now
+	a.started = true
+	if preempting {
+		a.remainingCC += c.cfg.Interference.extraCycles(c.cfg.Batch, c.lcMeanCycles, c.batchOccupiedNs)
+		a.remainingMem += float64(c.cfg.Interference.PreemptLatency)
+	}
+}
+
+func (c *core) view() queueing.View {
+	q := make([]queueing.QueuedRequest, len(c.queue))
+	for i, a := range c.queue {
+		q[i] = queueing.QueuedRequest{Arrival: a.req.Arrival}
+	}
+	v := queueing.View{
+		Now:        c.eng.Now(),
+		CurrentMHz: c.cur,
+		TargetMHz:  c.target,
+		Queue:      q,
+	}
+	if len(c.queue) > 0 {
+		v.HeadElapsedCycles = c.queue[0].elapsedCC
+		v.HeadElapsedMemNs = sim.Time(c.queue[0].elapsedMem)
+	}
+	return v
+}
+
+func (c *core) decide() {
+	if c.cfg.LCPolicy == nil {
+		return
+	}
+	c.applyFreq(c.cfg.LCPolicy.OnEvent(c.view()))
+}
+
+func (c *core) applyFreq(fMHz int) {
+	if fMHz <= 0 {
+		return
+	}
+	if c.cfg.Grid.Index(fMHz) < 0 {
+		fMHz = c.cfg.Grid.ClampUp(float64(fMHz))
+	}
+	c.target = fMHz
+	if fMHz == c.cur {
+		return
+	}
+	if c.cfg.TransitionLatency == 0 {
+		c.cur = fMHz
+		c.rescheduleCompletion()
+		return
+	}
+	if !c.switchPending {
+		c.switchPending = true
+		c.eng.After(c.cfg.TransitionLatency, c.switchEvent)
+	}
+}
+
+func (c *core) switchEvent() {
+	c.accrue()
+	c.switchPending = false
+	if c.cur != c.target {
+		c.cur = c.target
+		c.rescheduleCompletion()
+	}
+}
+
+func (c *core) rescheduleCompletion() {
+	c.gen++
+	if len(c.queue) == 0 {
+		return
+	}
+	head := c.queue[0]
+	total := head.remainingCC*1000/float64(c.cur) + head.remainingMem
+	gen := c.gen
+	c.eng.After(sim.Time(math.Ceil(total)), func() { c.completionEvent(gen) })
+}
+
+func (c *core) arrivalEvent() {
+	c.accrue()
+	req := c.cfg.Trace.Requests[c.next]
+	c.next++
+	if c.next < len(c.cfg.Trace.Requests) {
+		c.eng.At(c.cfg.Trace.Requests[c.next].Arrival, c.arrivalEvent)
+	}
+	a := &colReq{
+		req:          req,
+		remainingCC:  req.ComputeCycles,
+		remainingMem: float64(req.MemTime),
+		qlenAtArr:    len(c.queue),
+	}
+	wasIdle := len(c.queue) == 0
+	c.queue = append(c.queue, a)
+	if wasIdle {
+		// LC preempts batch: close the batch occupancy window.
+		if c.batchRunning {
+			c.batchOccupiedNs = float64(c.eng.Now() - c.occupancyStart)
+			c.batchRunning = false
+		}
+		c.beginService(a, true)
+	}
+	c.decide()
+	if wasIdle {
+		c.rescheduleCompletion()
+	}
+}
+
+func (c *core) completionEvent(gen uint64) {
+	if gen != c.gen {
+		return
+	}
+	c.accrue()
+	head := c.queue[0]
+	now := c.eng.Now()
+	comp := queueing.Completion{
+		ID:      head.req.ID,
+		Arrival: head.req.Arrival,
+		Start:   head.start,
+		Done:    now,
+		// Report the *measured* work, as CPI-stack performance counters
+		// would: elapsedCC includes the cold-start inflation and
+		// elapsedMem the preemption stall, so Rubik's profiler sees the
+		// interference it must absorb.
+		ComputeCycles:     head.elapsedCC,
+		MemTime:           sim.Time(head.elapsedMem),
+		QueueLenAtArrival: head.qlenAtArr,
+		ResponseNs:        float64(now - head.req.Arrival),
+		ServiceNs:         float64(now - head.start),
+	}
+	c.res.Completions = append(c.res.Completions, comp)
+	c.queue = c.queue[1:]
+	if obs, ok := c.cfg.LCPolicy.(queueing.CompletionObserver); ok {
+		obs.ObserveCompletion(comp)
+	}
+	if len(c.queue) > 0 {
+		c.beginService(c.queue[0], false)
+		c.decide()
+		c.rescheduleCompletion()
+		return
+	}
+	// Queue drained: hand the core back to batch.
+	c.batchRunning = true
+	c.occupancyStart = now
+	c.gen++ // no LC completion pending
+	if !c.cfg.ExternalFreq {
+		c.applyFreq(c.cfg.BatchMHz)
+	}
+}
+
+func (c *core) tickEvent(t queueing.Ticker) {
+	c.accrue()
+	f := t.OnTick(c.view())
+	// Only actuate the policy's frequency while the LC app owns the core.
+	if len(c.queue) > 0 {
+		c.applyFreq(f)
+	}
+	if c.next < len(c.cfg.Trace.Requests) || len(c.queue) > 0 {
+		c.eng.After(t.TickEvery(), func() { c.tickEvent(t) })
+	}
+}
+
+// drained reports whether all LC requests completed.
+func (c *core) drained() bool {
+	return c.next >= len(c.cfg.Trace.Requests) && len(c.queue) == 0
+}
+
+// RunCore simulates a single colocated core to completion of its LC trace.
+func RunCore(cfg CoreConfig) (CoreResult, error) {
+	eng := sim.NewEngine()
+	c, err := newCore(eng, cfg)
+	if err != nil {
+		return CoreResult{}, err
+	}
+	c.start()
+	eng.Run()
+	c.accrue()
+	c.res.EndTime = eng.Now()
+	return c.res, nil
+}
+
+func percentile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	sort.Float64s(cp)
+	rank := int(math.Ceil(q*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(cp) {
+		rank = len(cp) - 1
+	}
+	return cp[rank]
+}

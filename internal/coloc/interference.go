@@ -1,0 +1,99 @@
+// Package coloc implements RubikColoc and the colocation substrate of
+// paper Secs. 6-7: latency-critical (LC) and batch applications
+// time-multiplex the same cores. The memory system (LLC capacity and DRAM
+// bandwidth) is partitioned as in the paper, so the residual interference
+// is core-private state (branch predictors, TLBs, L1/L2): after batch work
+// occupies a core, the next LC requests pay extra compute cycles to re-warm
+// that state, decaying as the core warms — "private caches can be refilled
+// from a warm LLC in microseconds" (paper Sec. 6).
+//
+// Four schemes are modeled (paper Sec. 7): RubikColoc (Rubik sets LC
+// frequencies; batch runs at its optimal throughput-per-watt frequency when
+// the LC app is idle), StaticColoc (LC at the StaticOracle frequency of an
+// uncolocated run), and the hardware QoS-blind allocators HW-T (maximize
+// aggregate throughput under TDP) and HW-TPW (maximize aggregate
+// throughput/watt), which re-allocate per-core frequencies every 100 us.
+package coloc
+
+import (
+	"rubik/internal/sim"
+	"rubik/internal/workload"
+)
+
+// Interference models the core-private-state pollution that core sharing
+// causes. The cost is *additive and one-time* — a bounded number of extra
+// compute cycles to refill caches, TLBs and predictor state, charged to
+// the first LC request after each batch occupancy — because the state that
+// must be refilled has a fixed size and refilling it once warms the core
+// for the rest of the busy period. (A multiplicative or per-request model
+// would absurdly charge long requests more for the same cold caches, or
+// charge a burst repeatedly for one eviction.)
+type Interference struct {
+	// PreemptLatency is the context-switch delay before an LC request can
+	// start when batch work occupies the core.
+	PreemptLatency sim.Time
+	// ColdCyclesBase is the extra compute cycles the resuming LC request
+	// pays on a fully polluted core with a zero-footprint batch partner,
+	// for an LC app of reference footprint (see RefCycles).
+	ColdCyclesBase float64
+	// ColdCyclesPerMemFrac adds cycles proportional to the batch partner's
+	// memory-boundness (cache-hungry partners evict more LC state).
+	ColdCyclesPerMemFrac float64
+	// RefCycles scales the cost by the LC app's own working-set proxy
+	// (mean compute cycles per request, clamped to [0.2, 2] of RefCycles):
+	// an app whose requests do little work has little warm state to lose.
+	RefCycles float64
+	// SaturationNs is the batch occupancy after which pollution saturates.
+	SaturationNs float64
+}
+
+// DefaultInterference returns the calibrated interference model. At
+// nominal frequency the worst partner (mcf-like) costs the resuming
+// request ~57 us of re-warming for a masstree-sized footprint and up to
+// ~270 us for the largest footprints — tens-of-microseconds scale, per
+// paper Sec. 6.
+func DefaultInterference() Interference {
+	return Interference{
+		PreemptLatency:       10 * sim.Microsecond,
+		ColdCyclesBase:       40_000,
+		ColdCyclesPerMemFrac: 400_000,
+		RefCycles:            600_000,
+		SaturationNs:         50_000, // 50 us of batch execution fully pollutes
+	}
+}
+
+// extraCycles returns the one-time re-warming cost for the LC request that
+// resumes after the core ran batch work for occupancyNs; lcMeanCycles is
+// the LC app's mean per-request compute work (its footprint proxy).
+func (ic Interference) extraCycles(batch workload.BatchApp, lcMeanCycles, occupancyNs float64) float64 {
+	if occupancyNs <= 0 {
+		return 0
+	}
+	maxCycles := ic.ColdCyclesBase + ic.ColdCyclesPerMemFrac*batchMemFrac(batch)
+	if ic.RefCycles > 0 {
+		footprint := lcMeanCycles / ic.RefCycles
+		if footprint < 0.2 {
+			footprint = 0.2
+		}
+		if footprint > 2 {
+			footprint = 2
+		}
+		maxCycles *= footprint
+	}
+	sat := occupancyNs / ic.SaturationNs
+	if sat > 1 {
+		sat = 1
+	}
+	return maxCycles * sat
+}
+
+// batchMemFrac recovers the batch app's memory-bound share of unit time at
+// nominal frequency.
+func batchMemFrac(b workload.BatchApp) float64 {
+	computeNs := b.CyclesPerUnit * 1000 / 2400
+	total := computeNs + b.MemNsPerUnit
+	if total <= 0 {
+		return 0
+	}
+	return b.MemNsPerUnit / total
+}

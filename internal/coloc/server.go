@@ -1,0 +1,277 @@
+package coloc
+
+import (
+	"fmt"
+
+	"rubik/internal/cpu"
+	"rubik/internal/sim"
+	"rubik/internal/workload"
+)
+
+// HWObjective selects what the hardware DVFS allocator maximizes.
+type HWObjective int
+
+const (
+	// HWThroughput is HW-T: maximize aggregate instruction throughput
+	// subject to the TDP (paper Sec. 7, modeled after Turbo-Boost-style
+	// coordinated DVFS).
+	HWThroughput HWObjective = iota
+	// HWThroughputPerWatt is HW-TPW: maximize aggregate throughput/watt.
+	HWThroughputPerWatt
+)
+
+// occupantCurve characterizes what a core is currently executing: its
+// achievable compute-cycle throughput and power at each frequency step.
+// Both LC requests and batch units reduce to (compute cycles, memory time),
+// so the same two functions cover both occupants.
+type occupantCurve struct {
+	computeCyclesPerUnit float64
+	memNsPerUnit         float64
+	activity             float64
+}
+
+// rate returns the compute-cycle throughput (cycles/s) at fMHz: the
+// fraction of time spent computing times the clock rate. Memory-bound
+// occupants plateau; compute-bound occupants scale with f.
+func (o occupantCurve) rate(fMHz int) float64 {
+	computeNs := o.computeCyclesPerUnit * 1000 / float64(fMHz)
+	share := computeNs / (computeNs + o.memNsPerUnit)
+	return share * float64(fMHz) * 1e6
+}
+
+func (o occupantCurve) power(fMHz int, m cpu.PowerModel) float64 {
+	m.ActivityFactor = o.activity
+	return m.ActivePower(fMHz)
+}
+
+// allocate picks one frequency per core maximizing the objective under the
+// core power budget, starting from per-core floor steps (nil floors = grid
+// minimum). Both allocators are greedy step-up climbers, which is how
+// hardware governors behave between epochs. The floors model the
+// utilization feedback every real governor has: a core whose occupant
+// cannot sustain its offered load gets boosted regardless of the efficiency
+// objective — hardware DVFS is QoS-blind, not stability-blind.
+func allocate(curves []occupantCurve, floors []int, grid cpu.Grid, model cpu.PowerModel, tdpW float64, obj HWObjective) []int {
+	n := len(curves)
+	idx := make([]int, n)
+	powers := make([]float64, n)
+	rates := make([]float64, n)
+	var totalP, totalR float64
+	for i, c := range curves {
+		if floors != nil && floors[i] > 0 && floors[i] < grid.Len() {
+			idx[i] = floors[i]
+		}
+		powers[i] = c.power(grid.Step(idx[i]), model)
+		rates[i] = c.rate(grid.Step(idx[i]))
+		totalP += powers[i]
+		totalR += rates[i]
+	}
+	for {
+		best := -1
+		var bestScore float64
+		var bestDP, bestDR float64
+		for i, c := range curves {
+			if idx[i]+1 >= grid.Len() {
+				continue
+			}
+			f := grid.Step(idx[i] + 1)
+			dP := c.power(f, model) - powers[i]
+			dR := c.rate(f) - rates[i]
+			if totalP+dP > tdpW {
+				continue
+			}
+			var score float64
+			switch obj {
+			case HWThroughput:
+				// Marginal throughput per marginal watt maximizes total
+				// throughput under the power budget (greedy knapsack).
+				score = dR / dP
+			case HWThroughputPerWatt:
+				// Only steps that improve the global ratio are considered.
+				newRatio := (totalR + dR) / (totalP + dP)
+				score = newRatio - totalR/totalP
+				if score <= 0 {
+					continue
+				}
+			}
+			if best == -1 || score > bestScore {
+				best = i
+				bestScore = score
+				bestDP = dP
+				bestDR = dR
+			}
+		}
+		if best == -1 {
+			return stepsOf(grid, idx)
+		}
+		idx[best]++
+		powers[best] += bestDP
+		rates[best] += bestDR
+		totalP += bestDP
+		totalR += bestDR
+	}
+}
+
+func stepsOf(grid cpu.Grid, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, k := range idx {
+		out[i] = grid.Step(k)
+	}
+	return out
+}
+
+// ServerConfig describes a 6-core colocated server whose frequencies are
+// owned by a hardware allocator (HW-T / HW-TPW).
+type ServerConfig struct {
+	App  workload.LCApp
+	Mix  []workload.BatchApp
+	Load float64
+	// RequestsPerCore is the LC trace length per core.
+	RequestsPerCore int
+	Seed            int64
+
+	Grid              cpu.Grid
+	Power             cpu.PowerModel
+	TransitionLatency sim.Time
+	Interference      Interference
+	// Epoch is the allocator cadence (paper: 100 us).
+	Epoch sim.Time
+	// TDPCoreW is the core-power budget the allocator respects.
+	TDPCoreW  float64
+	Objective HWObjective
+}
+
+// ServerResult pools the per-core results of a 6-core server.
+type ServerResult struct {
+	Cores []CoreResult
+}
+
+// TailNs pools LC completions across cores and returns the q-quantile.
+func (r ServerResult) TailNs(q, warmupFrac float64) float64 {
+	var all []float64
+	for _, c := range r.Cores {
+		skip := int(warmupFrac * float64(len(c.Completions)))
+		for i, comp := range c.Completions {
+			if i >= skip {
+				all = append(all, comp.ResponseNs)
+			}
+		}
+	}
+	return percentile(all, q)
+}
+
+// TotalEnergyJ returns LC+batch core energy across cores.
+func (r ServerResult) TotalEnergyJ() float64 {
+	var e float64
+	for _, c := range r.Cores {
+		e += c.LCEnergyJ + c.BatchEnergyJ
+	}
+	return e
+}
+
+// RunHWServer simulates a 6-core colocated server under a hardware
+// QoS-blind DVFS allocator. Every epoch the allocator inspects what each
+// core is running (LC request or batch work) and re-divides the TDP; it is
+// oblivious to queue state and latency bounds, which is exactly why it
+// violates tails (paper Fig. 15).
+func RunHWServer(cfg ServerConfig) (ServerResult, error) {
+	if len(cfg.Mix) == 0 {
+		return ServerResult{}, fmt.Errorf("coloc: empty batch mix")
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 100 * sim.Microsecond
+	}
+	if cfg.TDPCoreW == 0 {
+		// The chip's 65 W TDP (paper Table 2) covers uncore and the memory
+		// interface too; with all six cores busy — which colocation
+		// guarantees — roughly 36 W remains for the cores. A binding core
+		// budget is what lets high-IPC batch occupants starve LC cores
+		// under HW-T, the failure mode Fig. 15 shows.
+		cfg.TDPCoreW = 33
+	}
+	eng := sim.NewEngine()
+	cores := make([]*core, len(cfg.Mix))
+	for i, b := range cfg.Mix {
+		tr := workload.GenerateAtLoad(cfg.App, cfg.Load, cfg.RequestsPerCore, cfg.Seed+int64(i)*101)
+		cc, err := newCore(eng, CoreConfig{
+			App:               cfg.App,
+			Batch:             b,
+			Trace:             tr,
+			LCPolicy:          nil,
+			ExternalFreq:      true,
+			Grid:              cfg.Grid,
+			Power:             cfg.Power,
+			TransitionLatency: cfg.TransitionLatency,
+			InitialMHz:        cpu.NominalMHz,
+			Interference:      cfg.Interference,
+		})
+		if err != nil {
+			return ServerResult{}, err
+		}
+		cores[i] = cc
+	}
+	for _, c := range cores {
+		c.start()
+	}
+
+	meanCC := cfg.App.Compute.Mean()
+	meanMem := cfg.App.MeanServiceNsAtNominal() - meanCC*1000/float64(cpu.NominalMHz)
+
+	// Utilization-governor floor for LC-occupied cores: the lowest step at
+	// which the offered LC load stays sustainable (busy fraction <= 0.92).
+	// Without it a low-frequency efficiency objective would let queues grow
+	// without bound, which no real governor allows.
+	lcFloor := 0
+	for s := 0; s < cfg.Grid.Len(); s++ {
+		f := cfg.Grid.Step(s)
+		svc := meanCC*1000/float64(f) + meanMem
+		if cfg.Load*svc/cfg.App.MeanServiceNsAtNominal() <= 0.92 {
+			lcFloor = s
+			break
+		}
+	}
+
+	var epochTick func()
+	epochTick = func() {
+		curves := make([]occupantCurve, len(cores))
+		floors := make([]int, len(cores))
+		for i, c := range cores {
+			if len(c.queue) > 0 {
+				curves[i] = occupantCurve{
+					computeCyclesPerUnit: meanCC,
+					memNsPerUnit:         meanMem,
+					activity:             1.0,
+				}
+				floors[i] = lcFloor
+			} else {
+				curves[i] = occupantCurve{
+					computeCyclesPerUnit: c.cfg.Batch.CyclesPerUnit,
+					memNsPerUnit:         c.cfg.Batch.MemNsPerUnit,
+					activity:             c.cfg.Batch.ActivityFactor,
+				}
+			}
+		}
+		freqs := allocate(curves, floors, cfg.Grid, cfg.Power, cfg.TDPCoreW, cfg.Objective)
+		anyWork := false
+		for i, c := range cores {
+			c.accrue()
+			c.applyFreq(freqs[i])
+			if !c.drained() {
+				anyWork = true
+			}
+		}
+		if anyWork {
+			eng.After(cfg.Epoch, epochTick)
+		}
+	}
+	eng.After(cfg.Epoch, epochTick)
+	eng.Run()
+
+	res := ServerResult{Cores: make([]CoreResult, len(cores))}
+	for i, c := range cores {
+		c.accrue()
+		c.res.EndTime = eng.Now()
+		res.Cores[i] = c.res
+	}
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rubik/internal/cpu"
+	"rubik/internal/queueing"
+	"rubik/internal/stats"
+	"rubik/internal/workload"
+)
+
+// randomApp draws a random-but-plausible latency-critical app shape:
+// lognormal or bimodal service times, mean 50 us - 2 ms, CV 0.1 - 1.0,
+// memory share 5% - 45%.
+func randomApp(r *rand.Rand) workload.LCApp {
+	meanCycles := (50e3 + r.Float64()*4.75e6) // 50k..4.8M cycles
+	cv := 0.1 + r.Float64()*0.9
+	var sampler stats.Sampler
+	if r.Intn(2) == 0 {
+		sampler = stats.LognormalFromMoments(meanCycles, cv, 6)
+	} else {
+		short := stats.LognormalFromMoments(meanCycles*0.6, 0.25, 6)
+		long := stats.LognormalFromMoments(meanCycles*2.6, 0.4, 6)
+		sampler = stats.NewMixture(
+			stats.MixtureComponent{Weight: 0.8, Sampler: short},
+			stats.MixtureComponent{Weight: 0.2, Sampler: long},
+		)
+	}
+	return workload.LCApp{
+		Name:     "random",
+		Compute:  sampler,
+		MemFrac:  0.05 + r.Float64()*0.40,
+		MemNoise: stats.LognormalFromMoments(1, 0.2, 5),
+		Requests: 4000,
+	}
+}
+
+// TestRubikTailComplianceProperty is the reproduction's strongest
+// correctness property: for randomized app shapes and loads at or below
+// the 50% design point, Rubik must keep the p95 within the bound (small
+// tolerance for finite-sample noise) while consuming no more energy than
+// fixed-nominal execution.
+func TestRubikTailComplianceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is expensive")
+	}
+	qcfg := queueing.DefaultConfig()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		app := randomApp(r)
+		load := 0.15 + r.Float64()*0.35 // 15%..50%
+
+		boundTr := workload.GenerateAtLoad(app, 0.5, 4000, seed+1)
+		fixedRes, err := queueing.Run(boundTr, queueing.FixedPolicy{MHz: cpu.NominalMHz}, qcfg)
+		if err != nil {
+			return false
+		}
+		bound := fixedRes.TailNs(0.95, 0)
+
+		tr := workload.GenerateAtLoad(app, load, 4000, seed+2)
+		fixed, err := queueing.Run(tr, queueing.FixedPolicy{MHz: cpu.NominalMHz}, qcfg)
+		if err != nil {
+			return false
+		}
+		ctl, err := New(DefaultConfig(bound))
+		if err != nil {
+			return false
+		}
+		res, err := queueing.Run(tr, ctl, qcfg)
+		if err != nil {
+			return false
+		}
+		tailOK := res.TailNs(0.95, 0.15) <= bound*1.12
+		energyOK := res.ActiveEnergyJ <= fixed.ActiveEnergyJ*1.02
+		if !tailOK || !energyOK {
+			t.Logf("seed %d: load %.2f memfrac %.2f tail %.0f bound %.0f energy %.3f fixed %.3f",
+				seed, load, app.MemFrac, res.TailNs(0.95, 0.15), bound,
+				res.ActiveEnergyJ, fixed.ActiveEnergyJ)
+		}
+		return tailOK && energyOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRubikDeterminismProperty: identical traces and configurations yield
+// bit-identical results.
+func TestRubikDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		app := workload.Masstree()
+		tr := workload.GenerateAtLoad(app, 0.45, 1200, seed)
+		run := func() (float64, float64) {
+			ctl, err := New(DefaultConfig(500_000))
+			if err != nil {
+				return -1, -1
+			}
+			res, err := queueing.Run(tr, ctl, queueing.DefaultConfig())
+			if err != nil {
+				return -1, -1
+			}
+			return res.ActiveEnergyJ, res.TailNs(0.95, 0)
+		}
+		e1, t1 := run()
+		e2, t2 := run()
+		return e1 == e2 && t1 == t2 && e1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailTableFrequencyMonotoneInLoadSignal: deeper queues can never make
+// Rubik pick a lower frequency, for arbitrary profiled distributions.
+func TestTailTableFrequencyMonotoneInLoadSignal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig(2e6)
+		cfg.Feedback.Enabled = false
+		ctl, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		comp := make([]float64, 300)
+		mem := make([]float64, 300)
+		for i := range comp {
+			comp[i] = 50e3 + r.Float64()*500e3
+			mem[i] = r.Float64() * 50e3
+		}
+		if err := ctl.Bootstrap(comp, mem); err != nil {
+			return false
+		}
+		prev := 0
+		for q := 1; q <= 12; q++ {
+			queue := make([]queueing.QueuedRequest, q)
+			for i := range queue {
+				queue[i] = queueing.QueuedRequest{Arrival: 0}
+			}
+			f := ctl.OnEvent(queueing.View{Now: 50_000, CurrentMHz: 800, Queue: queue})
+			if f < prev {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

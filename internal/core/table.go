@@ -1,0 +1,201 @@
+// Package core implements the paper's primary contribution: Rubik, the
+// fast analytical per-core DVFS controller for latency-critical systems.
+//
+// Rubik treats the work of each request as two random variables — compute
+// cycles C (scale with frequency) and memory-bound time M (do not) — whose
+// distributions it profiles online. The completion distribution of the
+// request at queue position i is S_i = S_0 + S + ... + S (i-fold
+// convolution), where S_0 conditions the service distribution on the work
+// the in-service request has already received. Rubik precomputes the tail
+// quantiles of these distributions into small lookup tables (the "target
+// tail tables", paper Fig. 5) every 100 ms, and on every request arrival
+// and completion picks the lowest frequency satisfying paper Eq. 2:
+//
+//	f >= max_i  c_i / (L - (t_i + m_i))
+//
+// A small PI feedback loop trims Rubik's internal latency target using the
+// measured tail over a rolling window (paper Sec. 4.2, "Feedback-based
+// fine-tuning").
+package core
+
+import (
+	"fmt"
+
+	"rubik/internal/stats"
+)
+
+// TailTable is the pair of precomputed target tail tables (compute cycles
+// and memory time). Rows condition on the elapsed work of the in-service
+// request (omega), quantized to octiles as in the paper's implementation;
+// columns are queue positions 0..MaxQueue-1. Positions beyond the table use
+// the Gaussian (CLT) extension.
+type TailTable struct {
+	// Percentile is the tail percentile the table targets (e.g. 0.95).
+	Percentile float64
+	// MaxQueue is the number of explicit columns (paper: 16).
+	MaxQueue int
+
+	// rowBoundsC[r] is the elapsed-cycles conditioning point of row r;
+	// rows are selected as the largest r with rowBoundsC[r] <= omega.
+	rowBoundsC []float64
+	rowBoundsM []float64
+
+	// c[r][i] is the tail cycles-until-completion of the request at queue
+	// position i when the head's elapsed work falls in row r; m[r][i] is
+	// the tail memory time (ns).
+	//
+	// Row 0 (omega = 0) holds the exact convolved tails Q(C^(*(i+1))).
+	// Rows r > 0 discount row 0 by the *mean* work the head has already
+	// completed: c[r][i] = c[0][i] - (E[C] - E[C0|row r]). Under the
+	// Gaussian view of the sum this is conservative — conditioning shrinks
+	// the exact tail by at least the mean shift — while sharing one set of
+	// FFT convolutions across all rows, which is what keeps the periodic
+	// update within the paper's sub-millisecond budget (Sec. 4.2 reports
+	// 0.2 ms per update). Each entry is floored at the row's own
+	// conditioned head tail.
+	c [][]float64
+	m [][]float64
+
+	// Base moments for the Gaussian extension of the exact sum tails.
+	meanC, varC float64
+	meanM, varM float64
+	// Per-row mean discounts, for extending rows past MaxQueue.
+	discC, discM []float64
+}
+
+// BuildTailTable constructs the tables from per-request compute-cycle and
+// memory-time samples, using nbuckets-bucket distributions (paper: 128),
+// rows octile rows (paper: 8), and maxQueue explicit queue positions
+// (paper: 16). It is the periodic "update the service cycle and time
+// distributions, perform the convolutions, and fill in the c_i and m_i
+// values" step of paper Sec. 4.2.
+func BuildTailTable(computeSamples, memSamples []float64, percentile float64, nbuckets, rows, maxQueue int) (*TailTable, error) {
+	if len(computeSamples) == 0 || len(memSamples) == 0 {
+		return nil, fmt.Errorf("core: no profiling samples")
+	}
+	if percentile <= 0 || percentile >= 1 {
+		return nil, fmt.Errorf("core: percentile %v out of (0,1)", percentile)
+	}
+	if rows < 1 || maxQueue < 1 {
+		return nil, fmt.Errorf("core: rows=%d maxQueue=%d must be positive", rows, maxQueue)
+	}
+	distC, err := stats.NewPMFFromSamples(computeSamples, nbuckets)
+	if err != nil {
+		return nil, fmt.Errorf("core: compute distribution: %w", err)
+	}
+	distM, err := stats.NewPMFFromSamples(memSamples, nbuckets)
+	if err != nil {
+		return nil, fmt.Errorf("core: memory distribution: %w", err)
+	}
+
+	t := &TailTable{
+		Percentile: percentile,
+		MaxQueue:   maxQueue,
+		meanC:      distC.Mean(),
+		varC:       distC.Variance(),
+		meanM:      distM.Mean(),
+		varM:       distM.Variance(),
+	}
+
+	// Exact sum tails for a fresh head: exactC[i] = Q(C^(*(i+1))),
+	// computed once with FFT-accelerated convolutions.
+	exactC := make([]float64, maxQueue)
+	exactM := make([]float64, maxQueue)
+	cs, err := stats.IterConvolutions(distC, distC, maxQueue)
+	if err != nil {
+		return nil, fmt.Errorf("core: compute convolutions: %w", err)
+	}
+	msum, err := stats.IterConvolutions(distM, distM, maxQueue)
+	if err != nil {
+		return nil, fmt.Errorf("core: memory convolutions: %w", err)
+	}
+	for i := 0; i < maxQueue; i++ {
+		exactC[i] = cs[i].Quantile(percentile)
+		exactM[i] = msum[i].Quantile(percentile)
+	}
+
+	for r := 0; r < rows; r++ {
+		q := float64(r) / float64(rows)
+		var boundC, boundM float64
+		if r > 0 {
+			boundC = distC.Quantile(q)
+			boundM = distM.Quantile(q)
+		}
+		t.rowBoundsC = append(t.rowBoundsC, boundC)
+		t.rowBoundsM = append(t.rowBoundsM, boundM)
+
+		condC := distC.ConditionAtLeast(boundC)
+		condM := distM.ConditionAtLeast(boundM)
+		discC := t.meanC - condC.Mean()
+		discM := t.meanM - condM.Mean()
+		if discC < 0 {
+			discC = 0
+		}
+		if discM < 0 {
+			discM = 0
+		}
+		headC := condC.Quantile(percentile)
+		headM := condM.Quantile(percentile)
+		cRow := make([]float64, maxQueue)
+		mRow := make([]float64, maxQueue)
+		for i := 0; i < maxQueue; i++ {
+			cRow[i] = maxf(exactC[i]-discC, headC)
+			mRow[i] = maxf(exactM[i]-discM, headM)
+		}
+		t.c = append(t.c, cRow)
+		t.m = append(t.m, mRow)
+		t.discC = append(t.discC, discC)
+		t.discM = append(t.discM, discM)
+	}
+	return t, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RowFor returns the table row for a head request with elapsedCycles of
+// compute work already performed.
+func (t *TailTable) RowFor(elapsedCycles float64) int {
+	row := 0
+	for r := 1; r < len(t.rowBoundsC); r++ {
+		if t.rowBoundsC[r] <= elapsedCycles {
+			row = r
+		}
+	}
+	return row
+}
+
+// Lookup returns the tail cycles c_i and tail memory time m_i (ns) for the
+// request at queue position i given the head's row. Positions at or beyond
+// MaxQueue use the Gaussian extension (paper Sec. 4.2, "Large queues").
+func (t *TailTable) Lookup(row, i int) (ci, mi float64) {
+	if row < 0 {
+		row = 0
+	}
+	if row >= len(t.c) {
+		row = len(t.c) - 1
+	}
+	if i < t.MaxQueue {
+		return t.c[row][i], t.m[row][i]
+	}
+	// Gaussian (CLT) extension of the exact sum tails, with the same
+	// per-row mean discount as the in-table entries (paper Sec. 4.2,
+	// "Large queues").
+	n := float64(i + 1)
+	ci = stats.GaussianTail(n*t.meanC, n*t.varC, t.Percentile) - t.discC[row]
+	mi = stats.GaussianTail(n*t.meanM, n*t.varM, t.Percentile) - t.discM[row]
+	if ci < t.c[row][0] {
+		ci = t.c[row][0]
+	}
+	if mi < t.m[row][0] {
+		mi = t.m[row][0]
+	}
+	return ci, mi
+}
+
+// Rows returns the number of omega rows.
+func (t *TailTable) Rows() int { return len(t.c) }

@@ -1,0 +1,288 @@
+package cpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rubik/internal/sim"
+)
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid()
+	if g.Len() != 14 {
+		t.Fatalf("grid has %d steps, want 14 (0.8-3.4 GHz in 200 MHz steps)", g.Len())
+	}
+	if g.Min() != 800 || g.Max() != 3400 {
+		t.Fatalf("grid range [%d, %d]", g.Min(), g.Max())
+	}
+	if g.Index(NominalMHz) < 0 {
+		t.Fatal("nominal frequency must be on the grid")
+	}
+	if g.Index(900) != -1 {
+		t.Fatal("900 MHz must not be on the grid")
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(nil); err == nil {
+		t.Fatal("empty grid must error")
+	}
+	if _, err := NewGrid([]int{100, 100}); err == nil {
+		t.Fatal("non-ascending grid must error")
+	}
+	g, err := NewGrid([]int{1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Step(1) != 2000 {
+		t.Fatalf("Step(1) = %d", g.Step(1))
+	}
+}
+
+func TestClampUpDown(t *testing.T) {
+	g := DefaultGrid()
+	cases := []struct {
+		f        float64
+		up, down int
+	}{
+		{0, 800, 800},
+		{799, 800, 800},
+		{800, 800, 800},
+		{801, 1000, 800},
+		{2399.5, 2400, 2200},
+		{2400, 2400, 2400},
+		{3400, 3400, 3400},
+		{9999, 3400, 3400},
+	}
+	for _, c := range cases {
+		if got := g.ClampUp(c.f); got != c.up {
+			t.Errorf("ClampUp(%v) = %d, want %d", c.f, got, c.up)
+		}
+		if got := g.ClampDown(c.f); got != c.down {
+			t.Errorf("ClampDown(%v) = %d, want %d", c.f, got, c.down)
+		}
+	}
+}
+
+func TestClampUpNeverViolates(t *testing.T) {
+	g := DefaultGrid()
+	f := func(raw float64) bool {
+		want := math.Mod(math.Abs(raw), 4000)
+		got := g.ClampUp(want)
+		return float64(got) >= want || got == g.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoltageMap(t *testing.T) {
+	if v := Voltage(800); v != 0.65 {
+		t.Fatalf("V(800) = %v", v)
+	}
+	if v := Voltage(3400); v != 1.15 {
+		t.Fatalf("V(3400) = %v", v)
+	}
+	if v := Voltage(100); v != 0.65 {
+		t.Fatalf("V below range = %v", v)
+	}
+	if v := Voltage(9000); v != 1.15 {
+		t.Fatalf("V above range = %v", v)
+	}
+	mid := Voltage(2100) // exact midpoint of 800..3400
+	if math.Abs(mid-0.9) > 1e-12 {
+		t.Fatalf("V(2100) = %v, want 0.9", mid)
+	}
+	// Monotonic over the grid.
+	g := DefaultGrid()
+	for i := 1; i < g.Len(); i++ {
+		if Voltage(g.Step(i)) <= Voltage(g.Step(i-1)) {
+			t.Fatal("voltage must increase with frequency")
+		}
+	}
+}
+
+func TestPowerModelShape(t *testing.T) {
+	m := DefaultPowerModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := DefaultGrid()
+	prev := 0.0
+	for _, f := range g.Steps() {
+		p := m.ActivePower(f)
+		if p <= prev {
+			t.Fatalf("power must increase with frequency: P(%d)=%v, prev=%v", f, p, prev)
+		}
+		prev = p
+	}
+	// Superlinearity: stepping from min to max should cost more than the
+	// frequency ratio alone (V^2 scaling).
+	ratio := m.ActivePower(3400) / m.ActivePower(800)
+	if ratio < float64(3400)/800 {
+		t.Fatalf("power not superlinear in f: ratio %.2f", ratio)
+	}
+	// TDP sanity: 6 cores at max must be near the 65 W TDP of Table 2.
+	tdp := 6 * m.ActivePower(3400)
+	if tdp < 45 || tdp > 80 {
+		t.Fatalf("6-core max power %.1f W, want near 65 W TDP", tdp)
+	}
+	if m.SleepPower() >= m.ActivePower(800) {
+		t.Fatal("sleep power must be below min active power")
+	}
+}
+
+func TestPowerModelValidate(t *testing.T) {
+	bad := PowerModel{DynCoeff: -1, ActivityFactor: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative DynCoeff must fail validation")
+	}
+}
+
+func TestSystemPower(t *testing.T) {
+	s := DefaultSystemPower()
+	idle := s.NonCorePower(0)
+	busy := s.NonCorePower(6)
+	if idle <= 0 || busy <= idle {
+		t.Fatalf("non-core power: idle %v, busy %v", idle, busy)
+	}
+	if s.NonCorePower(-3) != idle {
+		t.Fatal("negative active cores must clamp to idle")
+	}
+	// Idle floor must be a large fraction of busy power — the
+	// non-energy-proportionality that motivates colocation.
+	if idle/busy < 0.5 {
+		t.Fatalf("idle/busy = %.2f, expected non-energy-proportional (>0.5)", idle/busy)
+	}
+}
+
+func TestEnergyMeter(t *testing.T) {
+	g := DefaultGrid()
+	m := NewEnergyMeter(g, DefaultPowerModel())
+	m.AccrueActive(sim.Second, 2400)
+	wantJ := DefaultPowerModel().ActivePower(2400)
+	if math.Abs(m.ActiveEnergyJ()-wantJ) > 1e-9 {
+		t.Fatalf("1s at 2.4GHz = %v J, want %v", m.ActiveEnergyJ(), wantJ)
+	}
+	m.AccrueIdle(2 * sim.Second)
+	wantIdle := 2 * DefaultPowerModel().SleepPower()
+	if math.Abs(m.IdleEnergyJ()-wantIdle) > 1e-9 {
+		t.Fatalf("idle energy %v, want %v", m.IdleEnergyJ(), wantIdle)
+	}
+	if m.TotalEnergyJ() != m.ActiveEnergyJ()+m.IdleEnergyJ() {
+		t.Fatal("total != active + idle")
+	}
+	// Negative/zero durations are ignored.
+	m.AccrueActive(-5, 2400)
+	m.AccrueIdle(0)
+	if m.ActiveNs() != sim.Second || m.IdleNs() != 2*sim.Second {
+		t.Fatalf("time accounting wrong: %v active, %v idle", m.ActiveNs(), m.IdleNs())
+	}
+}
+
+func TestEnergyMeterResidency(t *testing.T) {
+	g := DefaultGrid()
+	m := NewEnergyMeter(g, DefaultPowerModel())
+	if r := m.Residency(); len(r) != g.Len() {
+		t.Fatalf("residency length %d", len(r))
+	}
+	m.AccrueActive(3*sim.Second, 800)
+	m.AccrueActive(1*sim.Second, 3400)
+	r := m.Residency()
+	if math.Abs(r[0]-0.75) > 1e-12 {
+		t.Fatalf("residency[800] = %v, want 0.75", r[0])
+	}
+	if math.Abs(r[g.Len()-1]-0.25) > 1e-12 {
+		t.Fatalf("residency[3400] = %v, want 0.25", r[g.Len()-1])
+	}
+	var sum float64
+	for _, v := range r {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("residency sums to %v", sum)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+	if _, err := SolveLinear([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Fatal("singular system must error")
+	}
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Fatal("empty system must error")
+	}
+}
+
+func TestLeastSquaresRecoversCoefficients(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	trueBeta := []float64{3.5, -2.0, 0.7}
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		row := []float64{1, r.Float64() * 10, r.Float64() * 5}
+		x = append(x, row)
+		y = append(y, Predict(trueBeta, row)+r.NormFloat64()*0.01)
+	}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trueBeta {
+		if math.Abs(beta[i]-trueBeta[i]) > 0.05 {
+			t.Fatalf("beta[%d] = %v, want %v", i, beta[i], trueBeta[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged matrix must error")
+	}
+}
+
+func TestKFoldCV(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		row := []float64{1, r.Float64() * 10}
+		x = append(x, row)
+		y = append(y, 2+3*row[1]+r.NormFloat64()*0.1)
+	}
+	res, err := KFoldCV(x, y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanAbsRelErr > 0.05 {
+		t.Fatalf("mean error %v too large for near-linear data", res.MeanAbsRelErr)
+	}
+	if res.MaxAbsRelErr < res.MeanAbsRelErr {
+		t.Fatal("max error below mean error")
+	}
+	if res.Folds != 5 {
+		t.Fatalf("folds = %d", res.Folds)
+	}
+	if _, err := KFoldCV(x, y, 1); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	if _, err := KFoldCV(x, y, len(x)+1); err == nil {
+		t.Fatal("k>n must error")
+	}
+}

@@ -1,0 +1,170 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file reproduces the paper's power-model construction methodology
+// (Sec. 5.1): least-squares regression of measured power onto frequency,
+// voltage, and performance-counter features, validated with k-fold
+// cross-validation. In the reproduction the "measurements" are generated
+// from the analytical models plus noise; the regression and validation
+// machinery is the artifact under test.
+
+// SolveLinear solves the square system A x = b in place using Gaussian
+// elimination with partial pivoting. A and b are overwritten.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("cpu: bad system dimensions %dx? vs %d", n, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("cpu: matrix is not square")
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("cpu: singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * x[j]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}
+
+// LeastSquares fits beta minimizing ||X beta - y||^2 via the normal
+// equations. X is row-major: one row per sample, one column per feature.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("cpu: bad regression dimensions %d vs %d", n, len(y))
+	}
+	k := len(x[0])
+	if k == 0 {
+		return nil, fmt.Errorf("cpu: no features")
+	}
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	for _, row := range x {
+		if len(row) != k {
+			return nil, fmt.Errorf("cpu: ragged feature matrix")
+		}
+	}
+	for r := 0; r < n; r++ {
+		row := x[r]
+		for i := 0; i < k; i++ {
+			for j := i; j < k; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	return SolveLinear(xtx, xty)
+}
+
+// Predict evaluates a fitted linear model on one feature row.
+func Predict(beta, row []float64) float64 {
+	var v float64
+	for i := range beta {
+		v += beta[i] * row[i]
+	}
+	return v
+}
+
+// CVResult reports cross-validation error of a fitted model, matching the
+// error metrics the paper quotes for its power model (mean and worst-case
+// absolute relative error).
+type CVResult struct {
+	MeanAbsRelErr float64
+	MaxAbsRelErr  float64
+	Folds         int
+}
+
+// KFoldCV runs k-fold cross-validation of a least-squares fit over the
+// sample set, assigning samples to folds round-robin (samples are already
+// in randomized order in the callers).
+func KFoldCV(x [][]float64, y []float64, k int) (CVResult, error) {
+	n := len(x)
+	if k < 2 || k > n {
+		return CVResult{}, fmt.Errorf("cpu: k=%d out of range for %d samples", k, n)
+	}
+	var sumErr, maxErr float64
+	var count int
+	for fold := 0; fold < k; fold++ {
+		var trainX [][]float64
+		var trainY []float64
+		var testX [][]float64
+		var testY []float64
+		for i := 0; i < n; i++ {
+			if i%k == fold {
+				testX = append(testX, x[i])
+				testY = append(testY, y[i])
+			} else {
+				trainX = append(trainX, x[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		beta, err := LeastSquares(trainX, trainY)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("cpu: fold %d: %w", fold, err)
+		}
+		for i := range testX {
+			pred := Predict(beta, testX[i])
+			denom := math.Abs(testY[i])
+			if denom < 1e-9 {
+				continue
+			}
+			rel := math.Abs(pred-testY[i]) / denom
+			sumErr += rel
+			if rel > maxErr {
+				maxErr = rel
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return CVResult{}, fmt.Errorf("cpu: no evaluable test samples")
+	}
+	return CVResult{
+		MeanAbsRelErr: sumErr / float64(count),
+		MaxAbsRelErr:  maxErr,
+		Folds:         k,
+	}, nil
+}

@@ -1,0 +1,89 @@
+package cpu
+
+import (
+	"fmt"
+
+	"rubik/internal/sim"
+)
+
+// EnergyMeter integrates core power over simulated time, split into active
+// (serving a request) and idle (sleep) energy, and tracks per-frequency
+// active residency. Active-only energy is what the paper's Fig. 6 and
+// Fig. 9b report ("active energy per request does not change with load" at
+// a fixed frequency); residency backs the frequency histograms of
+// Figs. 7b/8b.
+type EnergyMeter struct {
+	Model PowerModel
+	grid  Grid
+
+	activeJ  float64
+	idleJ    float64
+	activeNs sim.Time
+	idleNs   sim.Time
+	// residency[i] = active ns spent at grid step i.
+	residency []sim.Time
+}
+
+// NewEnergyMeter returns a meter for the given grid and power model.
+func NewEnergyMeter(grid Grid, model PowerModel) *EnergyMeter {
+	return &EnergyMeter{
+		Model:     model,
+		grid:      grid,
+		residency: make([]sim.Time, grid.Len()),
+	}
+}
+
+// AccrueActive charges dt nanoseconds of execution at fMHz.
+func (m *EnergyMeter) AccrueActive(dt sim.Time, fMHz int) {
+	if dt <= 0 {
+		return
+	}
+	m.activeJ += m.Model.ActivePower(fMHz) * float64(dt) / 1e9
+	m.activeNs += dt
+	if i := m.grid.Index(fMHz); i >= 0 {
+		m.residency[i] += dt
+	}
+}
+
+// AccrueIdle charges dt nanoseconds of sleep.
+func (m *EnergyMeter) AccrueIdle(dt sim.Time) {
+	if dt <= 0 {
+		return
+	}
+	m.idleJ += m.Model.SleepPower() * float64(dt) / 1e9
+	m.idleNs += dt
+}
+
+// ActiveEnergyJ returns the accumulated active core energy in joules.
+func (m *EnergyMeter) ActiveEnergyJ() float64 { return m.activeJ }
+
+// IdleEnergyJ returns the accumulated sleep energy in joules.
+func (m *EnergyMeter) IdleEnergyJ() float64 { return m.idleJ }
+
+// TotalEnergyJ returns active plus idle energy in joules.
+func (m *EnergyMeter) TotalEnergyJ() float64 { return m.activeJ + m.idleJ }
+
+// ActiveNs returns the total busy time.
+func (m *EnergyMeter) ActiveNs() sim.Time { return m.activeNs }
+
+// IdleNs returns the total idle time.
+func (m *EnergyMeter) IdleNs() sim.Time { return m.idleNs }
+
+// Residency returns, for each grid step, the fraction of *active* time
+// spent at that frequency. Sums to 1 when there was any active time.
+func (m *EnergyMeter) Residency() []float64 {
+	out := make([]float64, len(m.residency))
+	if m.activeNs == 0 {
+		return out
+	}
+	for i, ns := range m.residency {
+		out[i] = float64(ns) / float64(m.activeNs)
+	}
+	return out
+}
+
+// String summarizes the meter, mostly for debugging and example output.
+func (m *EnergyMeter) String() string {
+	return fmt.Sprintf("active %.3f J over %.3f ms, idle %.3f J over %.3f ms",
+		m.activeJ, float64(m.activeNs)/1e6, m.idleJ, float64(m.idleNs)/1e6)
+}

@@ -1,0 +1,579 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Seed: 7}
+}
+
+// TestRegistryCoversEveryArtifact pins the experiment inventory to the
+// paper's tables and figures (DESIGN.md §5).
+func TestRegistryCoversEveryArtifact(t *testing.T) {
+	want := []string{
+		"fig1a", "fig1b", "fig2a", "fig2b", "fig2c",
+		"table1", "table2", "table3",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"pmv", "fig15", "fig16",
+		"ablation", "pegasus",
+	}
+	reg := Registry()
+	have := map[string]bool{}
+	for _, e := range reg {
+		have[e.ID] = true
+		if e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %s missing description or runner", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(reg) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	if _, err := Find("fig6"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("unknown ID must error")
+	}
+}
+
+func TestFig1a(t *testing.T) {
+	r, err := Fig1a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rubik) != 3 || len(r.StaticOracle) != 3 {
+		t.Fatalf("wrong series lengths: %+v", r)
+	}
+	// Fig 1a's claim: Rubik uses less energy than StaticOracle at every
+	// load (up to 23% less in the paper).
+	for i := range r.Loads {
+		if r.Rubik[i] >= r.StaticOracle[i] {
+			t.Errorf("load %.0f%%: Rubik %.3f mJ >= StaticOracle %.3f mJ",
+				r.Loads[i]*100, r.Rubik[i], r.StaticOracle[i])
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 1a") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	r, err := Fig1b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Times) < 10 {
+		t.Fatalf("too few samples: %d", len(r.Times))
+	}
+	// Rubik's frequency must rise after the load step at t=1s.
+	var before, after []float64
+	for i, ts := range r.Times {
+		if ts <= 1e9 {
+			before = append(before, r.RubikFreqGHz[i])
+		} else {
+			after = append(after, r.RubikFreqGHz[i])
+		}
+	}
+	if meanOf(after) <= meanOf(before) {
+		t.Errorf("Rubik frequency did not rise after step: %.2f -> %.2f GHz",
+			meanOf(before), meanOf(after))
+	}
+	// Rubik's violations must stay small across the step.
+	if r.RubikViolFrac > 0.08 {
+		t.Errorf("Rubik violations %.2f across step", r.RubikViolFrac)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFig2a(t *testing.T) {
+	r, err := Fig2a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range r.Apps {
+		row := r.NormQPS[app]
+		if len(row) != len(r.Percentiles) {
+			t.Fatalf("%s: wrong row length", app)
+		}
+		// Fig 2a: instantaneous load varies substantially around the
+		// average. High-rate apps (specjbb: ~28 arrivals per 5 ms window)
+		// have tighter CDFs — exactly as in the paper's figure, where
+		// specjbb is the steepest curve.
+		if row[0] > 0.8 {
+			t.Errorf("%s: p5 normalized QPS %.2f too high (no variability)", app, row[0])
+		}
+		if row[len(row)-1] < 1.25 {
+			t.Errorf("%s: p99 normalized QPS %.2f too low", app, row[len(row)-1])
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 2a") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig2b(t *testing.T) {
+	r, err := Fig2b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Response) == 0 || len(r.QueueLen) == 0 || r.MeanQPS <= 0 {
+		t.Fatalf("missing panels: %+v", r)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "masstree") {
+		t.Error("render missing app name")
+	}
+}
+
+func TestFig2c(t *testing.T) {
+	r, err := Fig2c(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range r.Apps {
+		row := r.NormTail[app]
+		// Normalized tail >= ~1 everywhere and grows with load.
+		if row[0] < 0.9 {
+			t.Errorf("%s: normalized tail %.2f below 1 at low load", app, row[0])
+		}
+		if row[len(row)-1] <= row[0] {
+			t.Errorf("%s: tail did not grow with load: %v", app, row)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range r.Apps {
+		c := r.Correlations[app]
+		// Table 1's headline: queue length is the dominant correlate.
+		if c[2] < 0.5 {
+			t.Errorf("%s: queue-length correlation %.2f too weak", app, c[2])
+		}
+		if c[2] < c[0] || c[2] < c[1] {
+			t.Errorf("%s: queue length (%.2f) not dominant over service (%.2f)/QPS (%.2f)",
+				app, c[2], c[0], c[1])
+		}
+	}
+	// masstree's service-time correlation is near zero (paper: 0.03).
+	if c := r.Correlations["masstree"]; c[0] > 0.35 {
+		t.Errorf("masstree service correlation %.2f, want near zero", c[0])
+	}
+	// Variable apps correlate with service time more strongly.
+	if r.Correlations["shore"][0] <= r.Correlations["masstree"][0] {
+		t.Error("shore service correlation should exceed masstree's")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTables23(t *testing.T) {
+	t2, err := Table2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) < 5 {
+		t.Fatal("Table 2 too short")
+	}
+	t3, err := Table3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Apps) != 5 {
+		t.Fatal("Table 3 must list 5 apps")
+	}
+	var buf bytes.Buffer
+	t2.Render(&buf)
+	t3.Render(&buf)
+	if !strings.Contains(buf.String(), "masstree") {
+		t.Error("Table 3 render missing apps")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	r, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Apps[len(r.Apps)-1] != "mean" {
+		t.Fatal("missing cross-app mean")
+	}
+	for _, app := range r.Apps {
+		for li := range r.Loads {
+			// Rubik leads every scheme on every app and load (Fig. 6).
+			if r.Rubik[app][li] < r.Static[app][li]-0.02 {
+				t.Errorf("%s@%.0f%%: Rubik %.1f%% below StaticOracle %.1f%%",
+					app, r.Loads[li]*100, r.Rubik[app][li]*100, r.Static[app][li]*100)
+			}
+		}
+	}
+	// At 30% load the mean savings are large; at 50% StaticOracle's mean
+	// savings collapse while Rubik still saves (Fig. 6's shape).
+	if r.Rubik["mean"][0] < 0.20 {
+		t.Errorf("mean Rubik savings at 30%% = %.1f%%, want >20%%", r.Rubik["mean"][0]*100)
+	}
+	if r.Static["mean"][2] > 0.10 {
+		t.Errorf("mean StaticOracle savings at 50%% = %.1f%%, want near zero", r.Static["mean"][2]*100)
+	}
+	if r.Rubik["mean"][2] < r.Static["mean"][2]+0.05 {
+		t.Errorf("Rubik at 50%% (%.1f%%) not clearly ahead of StaticOracle (%.1f%%)",
+			r.Rubik["mean"][2]*100, r.Static["mean"][2]*100)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 6") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig7And8(t *testing.T) {
+	for _, f := range []func(Options) (*FigCDFResult, error){Fig7, Fig8} {
+		r, err := f(quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rubik delays short requests: its median sits right of
+		// StaticOracle's (Fig. 7a: "push the lower end of the CDF to the
+		// right").
+		if r.RubikMs[3] <= r.StaticMs[3] {
+			t.Errorf("%s: Rubik median %.3f not right of StaticOracle %.3f",
+				r.App, r.RubikMs[3], r.StaticMs[3])
+		}
+		// But the p95 stays at or below the bound (small slack for quick
+		// mode's short traces).
+		if r.RubikMs[6] > r.BoundMs*1.1 {
+			t.Errorf("%s: Rubik p95 %.3f above bound %.3f", r.App, r.RubikMs[6], r.BoundMs)
+		}
+		// Residency sums to ~1.
+		var sum float64
+		for _, v := range r.Residency {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: residency sums to %.3f", r.App, sum)
+		}
+		var buf bytes.Buffer
+		r.Render(&buf)
+		if buf.Len() == 0 {
+			t.Error("empty render")
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	r, err := Fig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5*3 {
+		t.Fatalf("rows = %d, want 15 (5 apps x 3 quick loads)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.Feasible {
+			continue
+		}
+		slack := 1.12
+		// In the feasible region every adaptive scheme holds the bound...
+		for name, tail := range map[string]float64{
+			"static": row.StaticTailMs, "dynamic": row.DynamicTailMs, "rubik": row.RubikTailMs,
+		} {
+			if tail > row.BoundMs*slack {
+				t.Errorf("%s@%.0f%%: %s tail %.3f above bound %.3f",
+					row.App, row.Load*100, name, tail, row.BoundMs)
+			}
+		}
+		// ...and the energy ordering holds: DynamicOracle is the floor,
+		// and Rubik beats Fixed at or below the 50%-load design point
+		// (above it, the paper notes all schemes spend more to chase the
+		// tail, but Rubik still undercuts StaticOracle).
+		if row.DynamicMJ > row.StaticMJ*1.01 {
+			t.Errorf("%s@%.0f%%: DynamicOracle (%.3f mJ) above StaticOracle (%.3f)",
+				row.App, row.Load*100, row.DynamicMJ, row.StaticMJ)
+		}
+		if row.Load <= 0.5 && row.RubikMJ > row.FixedMJ*1.02 {
+			t.Errorf("%s@%.0f%%: Rubik (%.3f mJ) above Fixed (%.3f)",
+				row.App, row.Load*100, row.RubikMJ, row.FixedMJ)
+		}
+		if row.RubikMJ > row.StaticMJ*1.08 {
+			t.Errorf("%s@%.0f%%: Rubik (%.3f mJ) well above StaticOracle (%.3f)",
+				row.App, row.Load*100, row.RubikMJ, row.StaticMJ)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 9") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	r, err := Fig10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Apps) != 5 {
+		t.Fatalf("apps = %d", len(r.Apps))
+	}
+	for _, a := range r.Apps {
+		if len(a.Times) < 5 {
+			t.Fatalf("%s: too few samples", a.App)
+		}
+		// Rubik keeps the 25%- and 50%-phase violations tiny.
+		if a.RubikPhaseViol[0] > 0.10 || a.RubikPhaseViol[1] > 0.10 {
+			t.Errorf("%s: rubik violations %.2f/%.2f in stable phases",
+				a.App, a.RubikPhaseViol[0], a.RubikPhaseViol[1])
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	r, err := Fig11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// moses (long requests) retains a clear Rubik advantage even with
+	// 130 us DVFS lag; Rubik never does worse than StaticOracle by more
+	// than noise, and never violates much.
+	for _, app := range r.Apps {
+		for li := range r.Loads {
+			if r.Rubik[app][li] < r.Static[app][li]-0.05 {
+				t.Errorf("%s@%.0f%%: Rubik %.1f%% well below StaticOracle %.1f%%",
+					app, r.Loads[li]*100, r.Rubik[app][li]*100, r.Static[app][li]*100)
+			}
+			if r.ViolRubik[app][li] > 0.08 {
+				t.Errorf("%s@%.0f%%: Rubik violations %.1f%%",
+					app, r.Loads[li]*100, r.ViolRubik[app][li]*100)
+			}
+		}
+	}
+	if r.Rubik["moses"][0] < r.Static["moses"][0]+0.03 {
+		t.Errorf("moses@30%%: Rubik %.1f%% should clearly beat StaticOracle %.1f%%",
+			r.Rubik["moses"][0]*100, r.Static["moses"][0]*100)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	r, err := Fig12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range r.Apps {
+		// System savings are positive but much smaller than core savings
+		// (Fig. 12's point: idle power limits DVFS savings).
+		if r.SystemSavings[i] <= 0 {
+			t.Errorf("%s: system savings %.1f%% not positive", app, r.SystemSavings[i]*100)
+		}
+		if r.SystemSavings[i] > 0.6*r.CoreSavings[i] {
+			t.Errorf("%s: system savings %.1f%% too close to core savings %.1f%%",
+				app, r.SystemSavings[i]*100, r.CoreSavings[i]*100)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestPowerModelValidation(t *testing.T) {
+	r, err := PowerModelValidation(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Components) != 4 {
+		t.Fatalf("components = %v", r.Components)
+	}
+	for i, c := range r.Components {
+		// The paper's model achieves ~5% mean error; the synthetic refit
+		// should do at least as well.
+		if r.MeanErrPct[i] > 6 {
+			t.Errorf("%s: mean error %.2f%% too large", c, r.MeanErrPct[i])
+		}
+		if r.MaxErrPct[i] < r.MeanErrPct[i] {
+			t.Errorf("%s: max below mean", c)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFig15(t *testing.T) {
+	r, err := Fig15(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mixes == 0 {
+		t.Fatal("no mixes evaluated")
+	}
+	// Scheme ordering (Fig. 15): RubikColoc holds tails; StaticColoc
+	// degrades for some mixes; the HW schemes violate grossly.
+	if worst := r.RubikColoc[0]; worst > 1.15 {
+		t.Errorf("RubikColoc worst tail ratio %.2f", worst)
+	}
+	if r.HWT[0] < 1.2 || r.HWTPW[0] < 1.2 {
+		t.Errorf("HW schemes should violate grossly: HW-T %.2f, HW-TPW %.2f", r.HWT[0], r.HWTPW[0])
+	}
+	if r.StaticColoc[0] < r.RubikColoc[0] {
+		t.Error("StaticColoc worst case should exceed RubikColoc's")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 15") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig16(t *testing.T) {
+	r, err := Fig16(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ColocPower >= row.SegPower {
+			t.Errorf("load %.0f%%: colocated power not below segregated", row.Load*100)
+		}
+		if row.ColocServers >= row.SegServers {
+			t.Errorf("load %.0f%%: colocated servers not below segregated", row.Load*100)
+		}
+	}
+	// The savings gap widens at low LC load (Fig. 16's shape).
+	saveLow := 1 - r.Rows[0].ColocPower/r.Rows[0].SegPower
+	saveHigh := 1 - r.Rows[len(r.Rows)-1].ColocPower/r.Rows[len(r.Rows)-1].SegPower
+	if saveLow <= saveHigh {
+		t.Errorf("power savings did not widen at low load: %.2f vs %.2f", saveLow, saveHigh)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 16") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	r, err := Ablation(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range r.Apps {
+		vs := r.Rows[app]
+		if len(vs) != 7 {
+			t.Fatalf("%s: %d variants", app, len(vs))
+		}
+		full := vs[0]
+		if full.TailRel > 1.10 {
+			t.Errorf("%s: full Rubik tail %.2fx bound", app, full.TailRel)
+		}
+		byName := map[string]AblationVariant{}
+		for _, v := range vs {
+			byName[v.Name] = v
+		}
+		// Queue blindness is the worst mutilation (the paper's Sec. 2.2
+		// argument against PACE-style deadline schemes): it always
+		// violates more, and for apps with tight headroom (masstree,
+		// bound ≈ 3x service time) it blows the tail badly.
+		qb := byName["queue-blind (PACE-like)"]
+		if qb.ViolPct <= full.ViolPct {
+			t.Errorf("%s: queue-blind violations %.1f%% not above full %.1f%%",
+				app, qb.ViolPct, full.ViolPct)
+		}
+		if app == "masstree" && qb.TailRel < full.TailRel+0.05 {
+			t.Errorf("masstree: queue-blind tail %.2f vs full %.2f — queueing not load-bearing?",
+				qb.TailRel, full.TailRel)
+		}
+		// Removing feedback keeps the tail but costs savings.
+		if nf := byName["no feedback"]; nf.TailRel > 1.10 {
+			t.Errorf("%s: no-feedback tail %.2fx bound", app, nf.TailRel)
+		}
+		if nf := byName["no feedback"]; nf.SavingsPct > full.SavingsPct+1 {
+			t.Errorf("%s: feedback should not lose savings: %.1f%% vs %.1f%%",
+				app, nf.SavingsPct, full.SavingsPct)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestPegasusComparison(t *testing.T) {
+	r, err := PegasusComparison(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Loads {
+		// StaticOracle upper-bounds the realistic feedback controller
+		// (paper Sec. 5.2), modulo quick-mode noise.
+		if r.Pegasus[i] > r.Static[i]+0.08 {
+			t.Errorf("load %.0f%%: Pegasus %.1f%% above its StaticOracle bound %.1f%%",
+				r.Loads[i]*100, r.Pegasus[i]*100, r.Static[i]*100)
+		}
+		// And Rubik beats both.
+		if r.Rubik[i] < r.Static[i]-0.02 {
+			t.Errorf("load %.0f%%: Rubik %.1f%% below StaticOracle %.1f%%",
+				r.Loads[i]*100, r.Rubik[i]*100, r.Static[i]*100)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestRunAndRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAndRender("table3", quickOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if err := RunAndRender("nope", quickOpts(), &buf); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	rubikcore "rubik/internal/core"
+	"rubik/internal/cpu"
+	"rubik/internal/policy"
+	"rubik/internal/queueing"
+	"rubik/internal/sim"
+	"rubik/internal/workload"
+)
+
+// Fig11Result reproduces Fig. 11: the real-system evaluation. The paper's
+// Haswell exhibits ~130 us DVFS transition latencies (not the 0.5 us FIVR
+// spec) and its larger per-core LLC share makes the apps more
+// compute-bound. We model both: 130 us transitions and halved memory
+// fractions for masstree (shortest requests) and moses (longest).
+type Fig11Result struct {
+	Loads []float64
+	Apps  []string
+	// Savings over fixed-nominal (fractions).
+	Static map[string][]float64
+	Rubik  map[string][]float64
+	// ViolRubik confirms Rubik still meets the bound despite DVFS lag.
+	ViolRubik map[string][]float64
+}
+
+// Fig11 runs the real-system-mode comparison.
+func Fig11(opts Options) (*Fig11Result, error) {
+	h := newHarness(opts)
+	// Real-system mode: observed FIVR actuation lag.
+	h.qcfg.TransitionLatency = 130 * sim.Microsecond
+
+	masstree := workload.Masstree()
+	masstree.MemFrac = 0.15 // full 8 MB LLC: more compute-bound
+	moses := workload.Moses()
+	moses.MemFrac = 0.08
+
+	out := &Fig11Result{
+		Loads:     []float64{0.3, 0.4, 0.5},
+		Static:    map[string][]float64{},
+		Rubik:     map[string][]float64{},
+		ViolRubik: map[string][]float64{},
+	}
+	for _, app := range []workload.LCApp{masstree, moses} {
+		out.Apps = append(out.Apps, app.Name)
+		// Bound at 50% load under the real-system config.
+		trBound := h.trace(app, 0.5)
+		fixedBound, err := queueing.Run(trBound, queueing.FixedPolicy{MHz: cpu.NominalMHz}, h.qcfg)
+		if err != nil {
+			return nil, err
+		}
+		bound := fixedBound.TailNs(TailPercentile, 0)
+		for _, load := range out.Loads {
+			tr := h.trace(app, load)
+			fixed, err := policy.Replay(tr, policy.UniformAssignment(len(tr.Requests), cpu.NominalMHz), h.rcfg)
+			if err != nil {
+				return nil, err
+			}
+			so, err := policy.StaticOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+			if err != nil {
+				return nil, err
+			}
+			rcfg := rubikcore.DefaultConfig(bound)
+			rcfg.Grid = h.grid
+			rcfg.TransitionLatency = h.qcfg.TransitionLatency
+			rb, err := rubikcore.New(rcfg)
+			if err != nil {
+				return nil, err
+			}
+			rbRes, err := queueing.Run(tr, rb, h.qcfg)
+			if err != nil {
+				return nil, err
+			}
+			out.Static[app.Name] = append(out.Static[app.Name],
+				1-so.Result.ActiveEnergyJ/fixed.ActiveEnergyJ)
+			out.Rubik[app.Name] = append(out.Rubik[app.Name],
+				1-rbRes.ActiveEnergyJ/fixed.ActiveEnergyJ)
+			out.ViolRubik[app.Name] = append(out.ViolRubik[app.Name],
+				rbRes.ViolationFrac(bound, Warmup))
+		}
+	}
+	return out, nil
+}
+
+// Render writes the savings table.
+func (r *Fig11Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 11 — real-system mode (130 us DVFS transitions, compute-bound LLC variant):")
+	fmt.Fprintln(w, "core power savings over fixed-nominal (%)")
+	var rows [][]string
+	for _, app := range r.Apps {
+		for li, load := range r.Loads {
+			rows = append(rows, []string{
+				app,
+				fmt.Sprintf("%.0f%%", load*100),
+				fmt.Sprintf("%.1f", r.Static[app][li]*100),
+				fmt.Sprintf("%.1f", r.Rubik[app][li]*100),
+				fmt.Sprintf("%.1f%%", r.ViolRubik[app][li]*100),
+			})
+		}
+	}
+	table(w, []string{"app", "load", "StaticOracle", "Rubik", "rubik>bound"}, rows)
+}
+
+// Fig12Result reproduces Fig. 12: Rubik's full-system power savings at 30%
+// load, per app. Savings are modest relative to core savings because idle
+// power (uncore, DRAM, PSU, disk) dominates — the observation that
+// motivates RubikColoc.
+type Fig12Result struct {
+	Apps []string
+	// CoreSavings and SystemSavings are fractions.
+	CoreSavings   []float64
+	SystemSavings []float64
+}
+
+// Fig12 computes per-server full-system savings (6 cores per server).
+func Fig12(opts Options) (*Fig12Result, error) {
+	h := newHarness(opts)
+	system := cpu.DefaultSystemPower()
+	out := &Fig12Result{}
+	const cores = 6
+	for _, app := range workload.Apps() {
+		bound, err := h.bound(app)
+		if err != nil {
+			return nil, err
+		}
+		tr := h.trace(app, 0.3)
+		fixed, err := queueing.Run(tr, queueing.FixedPolicy{MHz: cpu.NominalMHz}, h.qcfg)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := h.runRubik(tr, bound, true)
+		if err != nil {
+			return nil, err
+		}
+		// Uncore/DRAM activity power scales with the *work* done (cache
+		// and memory accesses are per-request), not with how long the
+		// core takes to do it — so it is identical across schemes running
+		// the same trace and is charged at the trace's nominal-frequency
+		// utilization.
+		var workNs float64
+		for _, req := range tr.Requests {
+			workNs += req.ServiceNs(cpu.NominalMHz)
+		}
+		sysPower := func(res queueing.Result) float64 {
+			wall := float64(res.ActiveNs+res.IdleNs) / 1e9
+			corePower := (res.ActiveEnergyJ + res.IdleEnergyJ) / wall
+			workUtil := workNs / 1e9 / wall
+			return cores*corePower + system.NonCorePower(cores*workUtil)
+		}
+		coreSave := 1 - rb.ActiveEnergyJ/fixed.ActiveEnergyJ
+		sysSave := 1 - sysPower(rb)/sysPower(fixed)
+		out.Apps = append(out.Apps, app.Name)
+		out.CoreSavings = append(out.CoreSavings, coreSave)
+		out.SystemSavings = append(out.SystemSavings, sysSave)
+	}
+	return out, nil
+}
+
+// Render writes the savings table.
+func (r *Fig12Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 12 — Rubik power savings at 30% load: core vs full system (%)")
+	var rows [][]string
+	for i, app := range r.Apps {
+		rows = append(rows, []string{
+			app,
+			fmt.Sprintf("%.1f", r.CoreSavings[i]*100),
+			fmt.Sprintf("%.1f", r.SystemSavings[i]*100),
+		})
+	}
+	table(w, []string{"app", "core savings", "system savings"}, rows)
+}

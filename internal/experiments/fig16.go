@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rubik/internal/datacenter"
+)
+
+// Fig16Row is one LC-load sample of the datacenter comparison.
+type Fig16Row struct {
+	Load float64
+	// Normalized to the segregated datacenter at 60% load, split into
+	// LC/colocated servers and batch-only servers (Fig. 16's hatching).
+	SegPower, SegPowerBatch         float64
+	ColocPower, ColocPowerBatch     float64
+	SegServers, SegServersBatch     float64
+	ColocServers, ColocServersBatch float64
+	WorstTailRel                    float64
+}
+
+// Fig16Result reproduces Fig. 16: datacenter power and server count for
+// the segregated (StaticOracle) and colocated (RubikColoc) fleets as the
+// LC load sweeps 10-60%.
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Fig16 runs the fleet comparison.
+func Fig16(opts Options) (*Fig16Result, error) {
+	cfg := datacenter.DefaultConfig()
+	cfg.Seed = opts.Seed
+	if opts.Quick {
+		cfg.LCServersPerApp = 20
+		cfg.BatchServersPerMix = 34
+		cfg.NMixes = 3
+		cfg.RequestsPerCore = 600
+		cfg.BoundRequests = 1500
+	}
+	m, err := datacenter.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	if opts.Quick {
+		loads = []float64{0.1, 0.3, 0.6}
+	}
+	// Normalization base: segregated at 60%.
+	base, err := m.Segregated(0.6)
+	if err != nil {
+		return nil, err
+	}
+	basePower := base.TotalPowerW()
+	baseServers := float64(base.TotalServers())
+
+	out := &Fig16Result{}
+	for _, load := range loads {
+		seg, err := m.Segregated(load)
+		if err != nil {
+			return nil, err
+		}
+		col, err := m.Colocated(load)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Fig16Row{
+			Load:              load,
+			SegPower:          seg.TotalPowerW() / basePower,
+			SegPowerBatch:     seg.BatchPowerW / basePower,
+			ColocPower:        col.TotalPowerW() / basePower,
+			ColocPowerBatch:   col.BatchPowerW / basePower,
+			SegServers:        float64(seg.TotalServers()) / baseServers,
+			SegServersBatch:   float64(seg.BatchServers) / baseServers,
+			ColocServers:      float64(col.TotalServers()) / baseServers,
+			ColocServersBatch: float64(col.BatchServers) / baseServers,
+			WorstTailRel:      col.WorstTailRel,
+		})
+	}
+	return out, nil
+}
+
+// Render prints normalized power and server counts.
+func (r *Fig16Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 16 — datacenter power and servers vs LC load, normalized to segregated @60% (batch share in parens)")
+	var rows [][]string
+	for _, row := range r.Rows {
+		powerSave := 1 - row.ColocPower/row.SegPower
+		serverSave := 1 - row.ColocServers/row.SegServers
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", row.Load*100),
+			fmt.Sprintf("%.2f (%.2f)", row.SegPower, row.SegPowerBatch),
+			fmt.Sprintf("%.2f (%.2f)", row.ColocPower, row.ColocPowerBatch),
+			fmt.Sprintf("%.0f%%", powerSave*100),
+			fmt.Sprintf("%.2f (%.2f)", row.SegServers, row.SegServersBatch),
+			fmt.Sprintf("%.2f (%.2f)", row.ColocServers, row.ColocServersBatch),
+			fmt.Sprintf("%.0f%%", serverSave*100),
+			fmt.Sprintf("%.2f", row.WorstTailRel),
+		})
+	}
+	table(w, []string{"LC load", "seg power", "coloc power", "power saved",
+		"seg servers", "coloc servers", "servers saved", "worst tail/bound"}, rows)
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rubik/internal/cpu"
+	"rubik/internal/policy"
+	"rubik/internal/workload"
+)
+
+// Fig6Result reproduces Fig. 6: active core power savings of StaticOracle,
+// AdrenalineOracle and Rubik over Fixed-frequency at 30/40/50% load, per
+// app plus the cross-app mean.
+type Fig6Result struct {
+	Loads []float64
+	Apps  []string // includes "mean" as the last entry
+	// Savings[scheme][app][loadIdx] in fractions (0.37 = 37%).
+	Static     map[string][]float64
+	Adrenaline map[string][]float64
+	Rubik      map[string][]float64
+}
+
+// Fig6 runs the headline steady-state power comparison.
+func Fig6(opts Options) (*Fig6Result, error) {
+	h := newHarness(opts)
+	out := &Fig6Result{
+		Loads:      []float64{0.3, 0.4, 0.5},
+		Static:     map[string][]float64{},
+		Adrenaline: map[string][]float64{},
+		Rubik:      map[string][]float64{},
+	}
+	apps := workload.Apps()
+	for _, app := range apps {
+		out.Apps = append(out.Apps, app.Name)
+		bound, err := h.bound(app)
+		if err != nil {
+			return nil, err
+		}
+		for _, load := range out.Loads {
+			tr := h.trace(app, load)
+			fixed, err := policy.Replay(tr, policy.UniformAssignment(len(tr.Requests), cpu.NominalMHz), h.rcfg)
+			if err != nil {
+				return nil, err
+			}
+			so, err := policy.StaticOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+			if err != nil {
+				return nil, err
+			}
+			ad, err := policy.AdrenalineOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+			if err != nil {
+				return nil, err
+			}
+			rb, err := h.runRubik(tr, bound, true)
+			if err != nil {
+				return nil, err
+			}
+			out.Static[app.Name] = append(out.Static[app.Name],
+				1-so.Result.ActiveEnergyJ/fixed.ActiveEnergyJ)
+			out.Adrenaline[app.Name] = append(out.Adrenaline[app.Name],
+				1-ad.Result.ActiveEnergyJ/fixed.ActiveEnergyJ)
+			out.Rubik[app.Name] = append(out.Rubik[app.Name],
+				1-rb.ActiveEnergyJ/fixed.ActiveEnergyJ)
+		}
+	}
+	// Cross-app mean.
+	out.Apps = append(out.Apps, "mean")
+	for li := range out.Loads {
+		var s, a, r float64
+		for _, app := range apps {
+			s += out.Static[app.Name][li]
+			a += out.Adrenaline[app.Name][li]
+			r += out.Rubik[app.Name][li]
+		}
+		n := float64(len(apps))
+		out.Static["mean"] = append(out.Static["mean"], s/n)
+		out.Adrenaline["mean"] = append(out.Adrenaline["mean"], a/n)
+		out.Rubik["mean"] = append(out.Rubik["mean"], r/n)
+	}
+	return out, nil
+}
+
+// Render writes the savings table.
+func (r *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 6 — core power savings over Fixed-frequency (%)")
+	header := []string{"app", "load", "StaticOracle", "AdrenalineOracle", "Rubik"}
+	var rows [][]string
+	for _, app := range r.Apps {
+		for li, load := range r.Loads {
+			rows = append(rows, []string{
+				app,
+				fmt.Sprintf("%.0f%%", load*100),
+				fmt.Sprintf("%.1f", r.Static[app][li]*100),
+				fmt.Sprintf("%.1f", r.Adrenaline[app][li]*100),
+				fmt.Sprintf("%.1f", r.Rubik[app][li]*100),
+			})
+		}
+	}
+	table(w, header, rows)
+}

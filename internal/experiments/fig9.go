@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rubik/internal/cpu"
+	"rubik/internal/policy"
+	"rubik/internal/workload"
+)
+
+// Fig9Row is one (app, load) sample of the load sweep.
+type Fig9Row struct {
+	App  string
+	Load float64
+	// TailMs per scheme.
+	FixedTailMs, StaticTailMs, DynamicTailMs, RubikNoFBTailMs, RubikTailMs float64
+	// Energy per request (mJ) per scheme.
+	FixedMJ, StaticMJ, DynamicMJ, RubikNoFBMJ, RubikMJ float64
+	// Feasible marks whether even the oracles can meet the bound (the
+	// unshaded region of Fig. 9).
+	Feasible bool
+	BoundMs  float64
+}
+
+// Fig9Result reproduces Fig. 9: load-latency (a) and load-energy (b)
+// diagrams for Fixed-frequency, StaticOracle, DynamicOracle, and Rubik with
+// and without feedback control.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 sweeps loads for every app.
+func Fig9(opts Options) (*Fig9Result, error) {
+	h := newHarness(opts)
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	if opts.Quick {
+		loads = []float64{0.2, 0.4, 0.6}
+	}
+	out := &Fig9Result{}
+	for _, app := range workload.Apps() {
+		bound, err := h.bound(app)
+		if err != nil {
+			return nil, err
+		}
+		for _, load := range loads {
+			tr := h.trace(app, load)
+			row := Fig9Row{App: app.Name, Load: load, BoundMs: ms(bound)}
+
+			fixed, err := policy.Replay(tr, policy.UniformAssignment(len(tr.Requests), cpu.NominalMHz), h.rcfg)
+			if err != nil {
+				return nil, err
+			}
+			row.FixedTailMs = ms(fixed.TailNs(TailPercentile))
+			row.FixedMJ = fixed.EnergyPerRequestJ() * 1e3
+
+			so, err := policy.StaticOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+			if err != nil {
+				return nil, err
+			}
+			row.StaticTailMs = ms(so.Result.TailNs(TailPercentile))
+			row.StaticMJ = so.Result.EnergyPerRequestJ() * 1e3
+			row.Feasible = so.Feasible
+
+			dyn, err := policy.DynamicOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+			if err != nil {
+				return nil, err
+			}
+			row.DynamicTailMs = ms(dyn.Result.TailNs(TailPercentile))
+			row.DynamicMJ = dyn.Result.EnergyPerRequestJ() * 1e3
+
+			nofb, err := h.runRubik(tr, bound, false)
+			if err != nil {
+				return nil, err
+			}
+			row.RubikNoFBTailMs = ms(nofb.TailNs(TailPercentile, Warmup))
+			row.RubikNoFBMJ = nofb.EnergyPerRequestJ() * 1e3
+
+			rb, err := h.runRubik(tr, bound, true)
+			if err != nil {
+				return nil, err
+			}
+			row.RubikTailMs = ms(rb.TailNs(TailPercentile, Warmup))
+			row.RubikMJ = rb.EnergyPerRequestJ() * 1e3
+
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Render prints both panels as one table per app.
+func (r *Fig9Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 9 — load sweeps: (a) p95 tail latency (ms), (b) core energy per request (mJ)")
+	header := []string{"app", "load", "bound",
+		"fixed tail", "static tail", "dynamic tail", "rubik-nofb tail", "rubik tail",
+		"fixed mJ", "static mJ", "dynamic mJ", "rubik-nofb mJ", "rubik mJ", "feasible"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.App,
+			fmt.Sprintf("%.0f%%", row.Load*100),
+			fmt.Sprintf("%.3f", row.BoundMs),
+			fmt.Sprintf("%.3f", row.FixedTailMs),
+			fmt.Sprintf("%.3f", row.StaticTailMs),
+			fmt.Sprintf("%.3f", row.DynamicTailMs),
+			fmt.Sprintf("%.3f", row.RubikNoFBTailMs),
+			fmt.Sprintf("%.3f", row.RubikTailMs),
+			fmt.Sprintf("%.3f", row.FixedMJ),
+			fmt.Sprintf("%.3f", row.StaticMJ),
+			fmt.Sprintf("%.3f", row.DynamicMJ),
+			fmt.Sprintf("%.3f", row.RubikNoFBMJ),
+			fmt.Sprintf("%.3f", row.RubikMJ),
+			fmt.Sprintf("%v", row.Feasible),
+		})
+	}
+	table(w, header, rows)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderer is any experiment result that can print itself.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+// Runner executes one experiment and returns its renderable result.
+type Runner func(Options) (Renderer, error)
+
+// Entry describes one registered experiment.
+type Entry struct {
+	ID          string
+	Description string
+	Run         Runner
+}
+
+// Registry maps experiment IDs (paper table/figure numbers) to runners.
+// DESIGN.md §5 is the authoritative index; EXPERIMENTS.md records
+// paper-vs-measured values.
+func Registry() []Entry {
+	entries := []Entry{
+		{"fig1a", "masstree energy/request: Rubik vs StaticOracle at 30/40/50% load",
+			func(o Options) (Renderer, error) { return Fig1a(o) }},
+		{"fig1b", "masstree 30%→50% load step: rolling tail and Rubik frequencies",
+			func(o Options) (Renderer, error) { return Fig1b(o) }},
+		{"fig2a", "CDF of instantaneous QPS (5 ms window) for all apps",
+			func(o Options) (Renderer, error) { return Fig2a(o) }},
+		{"fig2b", "masstree execution trace: QPS, service, queue, response",
+			func(o Options) (Renderer, error) { return Fig2b(o) }},
+		{"fig2c", "normalized tail latency vs load for all apps",
+			func(o Options) (Renderer, error) { return Fig2c(o) }},
+		{"table1", "correlation of response latency with service/QPS/queue",
+			func(o Options) (Renderer, error) { return Table1(o) }},
+		{"table2", "simulated CMP configuration",
+			func(o Options) (Renderer, error) { return Table2(o) }},
+		{"table3", "latency-critical application models",
+			func(o Options) (Renderer, error) { return Table3(o) }},
+		{"fig6", "core power savings: StaticOracle/AdrenalineOracle/Rubik",
+			func(o Options) (Renderer, error) { return Fig6(o) }},
+		{"fig7", "masstree latency CDF + Rubik frequency residency",
+			func(o Options) (Renderer, error) { return Fig7(o) }},
+		{"fig8", "xapian latency CDF + Rubik frequency residency",
+			func(o Options) (Renderer, error) { return Fig8(o) }},
+		{"fig9", "load sweeps: tails and energy for all schemes",
+			func(o Options) (Renderer, error) { return Fig9(o) }},
+		{"fig10", "25%→50%→75% load steps for all apps and schemes",
+			func(o Options) (Renderer, error) { return Fig10(o) }},
+		{"fig11", "real-system mode (130 us DVFS lag): masstree and moses",
+			func(o Options) (Renderer, error) { return Fig11(o) }},
+		{"fig12", "full-system power savings at 30% load",
+			func(o Options) (Renderer, error) { return Fig12(o) }},
+		{"pmv", "power-model fit + k-fold cross-validation (Sec 5.1)",
+			func(o Options) (Renderer, error) { return PowerModelValidation(o) }},
+		{"fig15", "colocation tail distributions: 4 schemes at 60% load",
+			func(o Options) (Renderer, error) { return Fig15(o) }},
+		{"fig16", "datacenter power/servers: segregated vs RubikColoc",
+			func(o Options) (Renderer, error) { return Fig16(o) }},
+		{"ablation", "EXTENSION: Rubik design choices removed one at a time",
+			func(o Options) (Renderer, error) { return Ablation(o) }},
+		{"pegasus", "EXTENSION: Pegasus-style feedback vs StaticOracle vs Rubik",
+			func(o Options) (Renderer, error) { return PegasusComparison(o) }},
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	return entries
+}
+
+// Find returns the registered experiment with the given ID.
+func Find(id string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAndRender executes an experiment by ID and writes its rendering.
+func RunAndRender(id string, opts Options, w io.Writer) error {
+	e, err := Find(id)
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		return fmt.Errorf("experiments: running %s: %w", id, err)
+	}
+	res.Render(w)
+	return nil
+}

@@ -1,0 +1,80 @@
+package queueing
+
+import (
+	"rubik/internal/stats"
+)
+
+// Responses returns the response latencies in ns of all completions after
+// skipping the leading warmupFrac fraction (by completion order). Skipping
+// warmup excludes the interval before online-profiled policies (Rubik)
+// have built their first model, matching the paper's steady-state
+// measurement.
+func (r Result) Responses(warmupFrac float64) []float64 {
+	cs := r.warm(warmupFrac)
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.ResponseNs
+	}
+	return out
+}
+
+// warm returns the completions after the warmup prefix.
+func (r Result) warm(warmupFrac float64) []Completion {
+	if warmupFrac <= 0 {
+		return r.Completions
+	}
+	skip := int(warmupFrac * float64(len(r.Completions)))
+	if skip >= len(r.Completions) {
+		return nil
+	}
+	return r.Completions[skip:]
+}
+
+// TailNs returns the q-quantile response latency after warmup.
+func (r Result) TailNs(q, warmupFrac float64) float64 {
+	return stats.Percentile(r.Responses(warmupFrac), q)
+}
+
+// ViolationFrac returns the fraction of post-warmup responses above
+// boundNs.
+func (r Result) ViolationFrac(boundNs, warmupFrac float64) float64 {
+	cs := r.warm(warmupFrac)
+	if len(cs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range cs {
+		if c.ResponseNs > boundNs {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cs))
+}
+
+// EnergyPerRequestJ returns active core energy per completed request — the
+// metric of the paper's Figs. 1a and 9b.
+func (r Result) EnergyPerRequestJ() float64 {
+	if len(r.Completions) == 0 {
+		return 0
+	}
+	return r.ActiveEnergyJ / float64(len(r.Completions))
+}
+
+// MeanActivePowerW returns active energy divided by total wall time — the
+// "core power" of the paper's Fig. 6 savings comparison.
+func (r Result) MeanActivePowerW() float64 {
+	total := r.ActiveNs + r.IdleNs
+	if total == 0 {
+		return 0
+	}
+	return r.ActiveEnergyJ / (float64(total) / 1e9)
+}
+
+// Utilization returns the fraction of wall time the core was serving.
+func (r Result) Utilization() float64 {
+	total := r.ActiveNs + r.IdleNs
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ActiveNs) / float64(total)
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() {
+		e.At(50, func() { fired = true }) // in the past
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock went backwards: %d", e.Now())
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(10, func() {
+		e.After(25, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 35 {
+		t.Fatalf("After fired at %d, want 35", at)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, ts := range []Time{5, 10, 15, 20} {
+		ts := ts
+		e.At(ts, func() { fired = append(fired, ts) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 5 and 10", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("now = %d, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine must return false")
+	}
+}
+
+func TestEngineMonotonicClockProperty(t *testing.T) {
+	// Property: for random event sets, the engine fires them in sorted
+	// order and the clock never goes backwards.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		n := 1 + r.Intn(200)
+		times := make([]Time, n)
+		var fired []Time
+		for i := range times {
+			times[i] = Time(r.Intn(1000))
+			ts := times[i]
+			e.At(ts, func() { fired = append(fired, ts) })
+		}
+		e.Run()
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if len(fired) != n {
+			return false
+		}
+		for i := range fired {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

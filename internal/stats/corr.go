@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series. It reproduces the paper's Table 1 analysis (correlation of
+// response latency with service time, instantaneous QPS, and queue length).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch: %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: Pearson needs at least 2 points, got %d", len(x))
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil // a constant series is uncorrelated with anything
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Welford accumulates mean and variance in a single streaming pass.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }

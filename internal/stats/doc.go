@@ -1,0 +1,11 @@
+// Package stats provides the statistical substrate for the Rubik
+// reproduction: equal-width empirical distributions (PMFs) with
+// conditioning and convolution, an FFT used to accelerate the repeated
+// convolutions behind Rubik's target tail tables, Gaussian tail
+// approximations for long queues, quantile and correlation helpers,
+// random-variate samplers for the synthetic workloads, and rolling
+// time-window accumulators used by the measurement and feedback paths.
+//
+// Everything in this package is deterministic given a seeded
+// math/rand.Rand and uses only the standard library.
+package stats

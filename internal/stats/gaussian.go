@@ -1,0 +1,31 @@
+package stats
+
+import "math"
+
+// NormalQuantile returns the q-quantile of the standard normal
+// distribution (the z-score z with Phi(z) = q), via the error function
+// inverse. Rubik uses it to extend the target tail tables past 16 queued
+// requests: by the central limit theorem, S_i converges to a Gaussian for
+// large i (paper Sec. 4.2, "Large queues").
+func NormalQuantile(q float64) float64 {
+	if q <= 0 {
+		return math.Inf(-1)
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt2 * math.Erfinv(2*q-1)
+}
+
+// GaussianTail returns the q-quantile of a Gaussian with the given mean and
+// variance, floored at zero (work cannot be negative).
+func GaussianTail(mean, variance, q float64) float64 {
+	if variance < 0 {
+		variance = 0
+	}
+	v := mean + NormalQuantile(q)*math.Sqrt(variance)
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,294 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PMF is a discrete probability mass function over equal-width buckets.
+// Bucket k covers the half-open value interval
+// [Origin + k*Width, Origin + (k+1)*Width).
+//
+// PMFs are the core representation behind Rubik's target tail tables: the
+// per-request compute-cycle distribution P[C] and memory-time distribution
+// P[M] are estimated as PMFs, conditioned on elapsed work, and convolved to
+// obtain the completion distributions of queued requests.
+type PMF struct {
+	Origin float64
+	Width  float64
+	P      []float64
+}
+
+// NewPMFFromSamples builds an equal-width PMF with nbuckets buckets spanning
+// [min(samples), max(samples)]. It returns a degenerate single-bucket PMF
+// when all samples are equal. The paper's implementation uses 128-bucket
+// distributions; callers pass that.
+func NewPMFFromSamples(samples []float64, nbuckets int) (PMF, error) {
+	if len(samples) == 0 {
+		return PMF{}, fmt.Errorf("stats: no samples")
+	}
+	if nbuckets <= 0 {
+		return PMF{}, fmt.Errorf("stats: nbuckets must be positive, got %d", nbuckets)
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return PMF{}, fmt.Errorf("stats: sample is not finite: %v", s)
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi == lo {
+		return PMF{Origin: lo, Width: 1, P: []float64{1}}, nil
+	}
+	w := (hi - lo) / float64(nbuckets)
+	p := make([]float64, nbuckets)
+	inc := 1 / float64(len(samples))
+	for _, s := range samples {
+		k := int((s - lo) / w)
+		if k >= nbuckets { // s == hi lands one past the end
+			k = nbuckets - 1
+		}
+		p[k] += inc
+	}
+	return PMF{Origin: lo, Width: w, P: p}, nil
+}
+
+// Mass returns the total probability mass (1 up to rounding for any
+// well-formed PMF).
+func (d PMF) Mass() float64 {
+	var m float64
+	for _, v := range d.P {
+		m += v
+	}
+	return m
+}
+
+// midpoint returns the representative value of bucket k.
+func (d PMF) midpoint(k int) float64 {
+	return d.Origin + (float64(k)+0.5)*d.Width
+}
+
+// Mean returns the expected value, using bucket midpoints.
+func (d PMF) Mean() float64 {
+	var m float64
+	for k, v := range d.P {
+		m += v * d.midpoint(k)
+	}
+	return m
+}
+
+// Variance returns the variance, using bucket midpoints.
+func (d PMF) Variance() float64 {
+	mean := d.Mean()
+	var v float64
+	for k, p := range d.P {
+		dx := d.midpoint(k) - mean
+		v += p * dx * dx
+	}
+	return v
+}
+
+// Quantile returns the value x such that P[X <= x] >= q, using the right
+// edge of the bucket where the CDF crosses q. Using the right edge is
+// deliberately conservative: Rubik treats the returned value as "the work
+// that must complete by the deadline", so rounding up can only raise the
+// chosen frequency, never violate the tail. q outside (0, 1] is clamped.
+func (d PMF) Quantile(q float64) float64 {
+	if len(d.P) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.Origin
+	}
+	if q > 1 {
+		q = 1
+	}
+	mass := d.Mass()
+	target := q * mass
+	var cum float64
+	for k, p := range d.P {
+		cum += p
+		if cum >= target-1e-12 {
+			return d.Origin + float64(k+1)*d.Width
+		}
+	}
+	return d.Origin + float64(len(d.P))*d.Width
+}
+
+// CDF returns P[X <= x].
+func (d PMF) CDF(x float64) float64 {
+	if len(d.P) == 0 {
+		return 0
+	}
+	if x < d.Origin {
+		return 0
+	}
+	k := int((x - d.Origin) / d.Width)
+	if k >= len(d.P) {
+		return d.Mass()
+	}
+	var cum float64
+	for i := 0; i < k; i++ {
+		cum += d.P[i]
+	}
+	// Interpolate within bucket k, treating mass as uniform in the bucket.
+	frac := (x - (d.Origin + float64(k)*d.Width)) / d.Width
+	return cum + d.P[k]*frac
+}
+
+// ConditionAtLeast returns the distribution of X - omega given X > omega:
+//
+//	P[X0 = c] = P[X = c + omega | X > omega]
+//
+// This is the paper's shift-and-rescale used to model the remaining work of
+// the request currently being served (Sec. 4.1). Conditioning happens at a
+// bucket boundary at or below omega, which is conservative (it can only
+// overestimate remaining work). If omega exhausts the support, a degenerate
+// PMF at the final bucket width is returned so callers always get a usable
+// distribution.
+func (d PMF) ConditionAtLeast(omega float64) PMF {
+	if len(d.P) == 0 {
+		return d
+	}
+	if omega <= d.Origin {
+		// No mass below omega: the remaining work is exactly X - omega.
+		out := make([]float64, len(d.P))
+		copy(out, d.P)
+		return PMF{Origin: d.Origin - omega, Width: d.Width, P: out}
+	}
+	// The epsilon keeps conditioning exactly at a bucket boundary from
+	// rounding down into the previous bucket.
+	k := int((omega-d.Origin)/d.Width + 1e-9)
+	if k >= len(d.P) {
+		// All profiled mass elapsed; model one residual bucket of work.
+		return PMF{Origin: 0, Width: d.Width, P: []float64{1}}
+	}
+	rest := make([]float64, len(d.P)-k)
+	copy(rest, d.P[k:])
+	var mass float64
+	for _, v := range rest {
+		mass += v
+	}
+	if mass <= 0 {
+		return PMF{Origin: 0, Width: d.Width, P: []float64{1}}
+	}
+	for i := range rest {
+		rest[i] /= mass
+	}
+	return PMF{Origin: 0, Width: d.Width, P: rest}
+}
+
+// Convolve returns the distribution of the sum of two independent variables
+// with matching bucket widths, computed directly (O(n*m)). It is the
+// reference implementation the FFT path is tested against.
+//
+// Bucket masses represent midpoints, so summing bucket i of a with bucket j
+// of b yields the lattice point a.Origin+b.Origin+(i+j+1)*Width; the result
+// origin carries the extra half-width so that midpoints (and therefore
+// means and variances) add exactly.
+func Convolve(a, b PMF) (PMF, error) {
+	if len(a.P) == 0 || len(b.P) == 0 {
+		return PMF{}, fmt.Errorf("stats: convolve empty PMF")
+	}
+	if !widthsCompatible(a.Width, b.Width) {
+		return PMF{}, fmt.Errorf("stats: convolve width mismatch: %g vs %g", a.Width, b.Width)
+	}
+	out := make([]float64, len(a.P)+len(b.P)-1)
+	for i, pa := range a.P {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b.P {
+			out[i+j] += pa * pb
+		}
+	}
+	return PMF{Origin: a.Origin + b.Origin + a.Width/2, Width: a.Width, P: out}, nil
+}
+
+func widthsCompatible(w1, w2 float64) bool {
+	if w1 == w2 {
+		return true
+	}
+	d := math.Abs(w1 - w2)
+	return d <= 1e-9*math.Max(math.Abs(w1), math.Abs(w2))
+}
+
+// Rescale returns an equivalent PMF with the given bucket width, spreading
+// each bucket's mass uniformly over the buckets it overlaps. Used when two
+// profiled distributions must share a grid before convolution.
+func (d PMF) Rescale(width float64) PMF {
+	if len(d.P) == 0 || width <= 0 || widthsCompatible(width, d.Width) {
+		return d
+	}
+	span := float64(len(d.P)) * d.Width
+	n := int(math.Ceil(span / width))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for k, p := range d.P {
+		if p == 0 {
+			continue
+		}
+		lo := float64(k) * d.Width
+		hi := lo + d.Width
+		// Spread mass over [lo, hi) in the new grid.
+		i0 := int(lo / width)
+		i1 := int(math.Ceil(hi / width))
+		if i1 > n {
+			i1 = n
+		}
+		for i := i0; i < i1; i++ {
+			blo := math.Max(lo, float64(i)*width)
+			bhi := math.Min(hi, float64(i+1)*width)
+			if bhi > blo {
+				out[i] += p * (bhi - blo) / d.Width
+			}
+		}
+	}
+	return PMF{Origin: d.Origin, Width: width, P: out}
+}
+
+// Percentile returns the q-quantile (q in (0,1]) of a sample slice using
+// the nearest-rank method on a sorted copy. It is the definition used for
+// all measured tail latencies in the reproduction.
+func Percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return percentileSorted(s, q)
+}
+
+// PercentileSorted is Percentile for an already-sorted slice (no copy).
+func PercentileSorted(sorted []float64, q float64) float64 {
+	return percentileSorted(sorted, q)
+}
+
+func percentileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}

@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewPMFFromSamplesErrors(t *testing.T) {
+	if _, err := NewPMFFromSamples(nil, 128); err == nil {
+		t.Fatal("expected error for empty samples")
+	}
+	if _, err := NewPMFFromSamples([]float64{1}, 0); err == nil {
+		t.Fatal("expected error for zero buckets")
+	}
+	if _, err := NewPMFFromSamples([]float64{math.NaN()}, 8); err == nil {
+		t.Fatal("expected error for NaN sample")
+	}
+	if _, err := NewPMFFromSamples([]float64{math.Inf(1)}, 8); err == nil {
+		t.Fatal("expected error for Inf sample")
+	}
+}
+
+func TestNewPMFFromSamplesDegenerate(t *testing.T) {
+	d, err := NewPMFFromSamples([]float64{5, 5, 5}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.P) != 1 || d.P[0] != 1 {
+		t.Fatalf("degenerate PMF not single bucket: %+v", d)
+	}
+	if d.Origin != 5 {
+		t.Fatalf("degenerate origin = %v, want 5", d.Origin)
+	}
+	if q := d.Quantile(0.95); q < 5 {
+		t.Fatalf("degenerate quantile %v < 5", q)
+	}
+}
+
+func TestPMFMassIsOne(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = r.NormFloat64()*3 + 10
+	}
+	d, err := NewPMFFromSamples(samples, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(d.Mass(), 1, 1e-9) {
+		t.Fatalf("mass = %v, want 1", d.Mass())
+	}
+}
+
+func TestPMFMeanVarianceMatchSamples(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	samples := make([]float64, 50000)
+	var w Welford
+	for i := range samples {
+		samples[i] = math.Exp(r.NormFloat64()*0.4 + 1)
+		w.Add(samples[i])
+	}
+	d, err := NewPMFFromSamples(samples, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(d.Mean(), w.Mean(), 0.05*w.Mean()) {
+		t.Fatalf("PMF mean %v, sample mean %v", d.Mean(), w.Mean())
+	}
+	if !approxEqual(d.Variance(), w.Variance(), 0.1*w.Variance()+0.01) {
+		t.Fatalf("PMF var %v, sample var %v", d.Variance(), w.Variance())
+	}
+}
+
+func TestQuantileIsConservative(t *testing.T) {
+	// Quantile must return a value whose CDF is at least q.
+	r := rand.New(rand.NewSource(3))
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = r.ExpFloat64() * 100
+	}
+	d, err := NewPMFFromSamples(samples, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0} {
+		x := d.Quantile(q)
+		if cdf := d.CDF(x); cdf+1e-9 < q {
+			t.Errorf("CDF(Quantile(%v)) = %v < q", q, cdf)
+		}
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	// Property: for any sample set, quantiles are monotone in q.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(500)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = r.Float64() * 1000
+		}
+		d, err := NewPMFFromSamples(samples, 64)
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for q := 0.05; q <= 1.0; q += 0.05 {
+			x := d.Quantile(q)
+			if x < prev-1e-9 {
+				return false
+			}
+			prev = x
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionAtLeastZeroIsIdentityShift(t *testing.T) {
+	d := PMF{Origin: 10, Width: 2, P: []float64{0.25, 0.25, 0.5}}
+	c := d.ConditionAtLeast(0)
+	if c.Origin != 10 {
+		t.Fatalf("origin = %v, want 10", c.Origin)
+	}
+	for i := range d.P {
+		if c.P[i] != d.P[i] {
+			t.Fatalf("P[%d] changed: %v vs %v", i, c.P[i], d.P[i])
+		}
+	}
+	// Conditioning below the support shifts values exactly.
+	c = d.ConditionAtLeast(4)
+	if c.Origin != 6 {
+		t.Fatalf("origin = %v, want 6", c.Origin)
+	}
+}
+
+func TestConditionAtLeastRenormalizes(t *testing.T) {
+	d := PMF{Origin: 0, Width: 1, P: []float64{0.5, 0.3, 0.2}}
+	c := d.ConditionAtLeast(1.2) // conditions at boundary 1.0
+	if !approxEqual(c.Mass(), 1, 1e-12) {
+		t.Fatalf("mass = %v, want 1", c.Mass())
+	}
+	if len(c.P) != 2 {
+		t.Fatalf("len = %d, want 2", len(c.P))
+	}
+	if !approxEqual(c.P[0], 0.6, 1e-12) || !approxEqual(c.P[1], 0.4, 1e-12) {
+		t.Fatalf("P = %v, want [0.6 0.4]", c.P)
+	}
+	if c.Origin != 0 {
+		t.Fatalf("origin = %v, want 0", c.Origin)
+	}
+}
+
+func TestConditionAtLeastExhausted(t *testing.T) {
+	d := PMF{Origin: 0, Width: 1, P: []float64{0.5, 0.5}}
+	c := d.ConditionAtLeast(10)
+	if !approxEqual(c.Mass(), 1, 1e-12) {
+		t.Fatalf("exhausted conditioning must still return mass 1, got %v", c.Mass())
+	}
+}
+
+func TestConditionAtLeastIsConservativeAtBoundaries(t *testing.T) {
+	// Property: when conditioning exactly at a bucket boundary b (which is
+	// what Rubik's octile rows do), the conditioned tail quantile
+	// upper-bounds the empirical remaining-work quantile of the samples at
+	// or above b. Off-boundary conditioning is only approximate — Rubik
+	// quantizes omega to a row boundary before consulting the table.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		samples := make([]float64, 2000)
+		for i := range samples {
+			samples[i] = 100 + r.ExpFloat64()*50
+		}
+		d, err := NewPMFFromSamples(samples, 128)
+		if err != nil {
+			return false
+		}
+		k := r.Intn(len(d.P) / 2)
+		b := d.Origin + float64(k)*d.Width
+		cond := d.ConditionAtLeast(b)
+		var remaining []float64
+		for _, s := range samples {
+			if s >= b {
+				remaining = append(remaining, s-b)
+			}
+		}
+		if len(remaining) < 20 {
+			return true // too few survivors to compare
+		}
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			if cond.Quantile(q) < Percentile(remaining, q)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveMatchesMoments(t *testing.T) {
+	// Property: mean(a*b) = mean(a)+mean(b), var(a*b) = var(a)+var(b).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() PMF {
+			n := 2 + r.Intn(40)
+			p := make([]float64, n)
+			var tot float64
+			for i := range p {
+				p[i] = r.Float64()
+				tot += p[i]
+			}
+			for i := range p {
+				p[i] /= tot
+			}
+			return PMF{Origin: r.Float64() * 10, Width: 0.5, P: p}
+		}
+		a, b := mk(), mk()
+		c, err := Convolve(a, b)
+		if err != nil {
+			return false
+		}
+		meanOK := approxEqual(c.Mean(), a.Mean()+b.Mean(), 1e-6)
+		varOK := approxEqual(c.Variance(), a.Variance()+b.Variance(), 1e-6)
+		massOK := approxEqual(c.Mass(), 1, 1e-9)
+		return meanOK && varOK && massOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveWidthMismatch(t *testing.T) {
+	a := PMF{Origin: 0, Width: 1, P: []float64{1}}
+	b := PMF{Origin: 0, Width: 2, P: []float64{1}}
+	if _, err := Convolve(a, b); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+	if _, err := ConvolveFFT(a, b); err == nil {
+		t.Fatal("expected width mismatch error (FFT)")
+	}
+}
+
+func TestRescalePreservesMassAndMean(t *testing.T) {
+	d := PMF{Origin: 3, Width: 1, P: []float64{0.2, 0.3, 0.5}}
+	r := d.Rescale(0.4)
+	if !approxEqual(r.Mass(), 1, 1e-9) {
+		t.Fatalf("mass = %v", r.Mass())
+	}
+	if !approxEqual(r.Mean(), d.Mean(), d.Width) {
+		t.Fatalf("mean drifted: %v vs %v", r.Mean(), d.Mean())
+	}
+	// Rescaling to the same width is a no-op.
+	same := d.Rescale(1)
+	if len(same.P) != len(d.P) {
+		t.Fatalf("same-width rescale changed shape")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.2, 1}, {0.4, 2}, {0.5, 3}, {0.95, 5}, {1.0, 5}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.q); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

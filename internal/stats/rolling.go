@@ -1,0 +1,103 @@
+package stats
+
+import "sort"
+
+// TimedSample is one (timestamp, value) observation in a rolling window.
+// Timestamps are int64 nanoseconds, matching the simulator clock.
+type TimedSample struct {
+	T int64
+	V float64
+}
+
+// RollingWindow keeps the samples from the trailing Span nanoseconds.
+// It backs three measurement paths from the paper:
+//   - rolling 200 ms tail-latency traces (Figs. 1b, 10),
+//   - the instantaneous-QPS CDF over a rolling 5 ms window (Fig. 2a),
+//   - the PI feedback controller's rolling 1 s measured tail (Sec. 4.2).
+//
+// Samples must be added in non-decreasing timestamp order.
+type RollingWindow struct {
+	Span int64
+	buf  []TimedSample
+	head int
+}
+
+// NewRollingWindow returns a window covering the trailing span nanoseconds.
+func NewRollingWindow(span int64) *RollingWindow {
+	return &RollingWindow{Span: span}
+}
+
+// Add appends an observation and evicts samples older than T - Span.
+func (w *RollingWindow) Add(t int64, v float64) {
+	w.buf = append(w.buf, TimedSample{T: t, V: v})
+	w.trim(t)
+}
+
+// trim drops samples with timestamp <= t-Span and compacts occasionally.
+func (w *RollingWindow) trim(t int64) {
+	cut := t - w.Span
+	for w.head < len(w.buf) && w.buf[w.head].T <= cut {
+		w.head++
+	}
+	if w.head > 1024 && w.head*2 > len(w.buf) {
+		n := copy(w.buf, w.buf[w.head:])
+		w.buf = w.buf[:n]
+		w.head = 0
+	}
+}
+
+// AdvanceTo evicts samples that fall out of the window as of time t without
+// adding a new one.
+func (w *RollingWindow) AdvanceTo(t int64) { w.trim(t) }
+
+// Len returns the number of live samples.
+func (w *RollingWindow) Len() int { return len(w.buf) - w.head }
+
+// Values returns a copy of the live sample values in arrival order.
+func (w *RollingWindow) Values() []float64 {
+	out := make([]float64, 0, w.Len())
+	for _, s := range w.buf[w.head:] {
+		out = append(out, s.V)
+	}
+	return out
+}
+
+// Percentile returns the q-quantile of the live values (0 if empty).
+func (w *RollingWindow) Percentile(q float64) float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	vals := w.Values()
+	sort.Float64s(vals)
+	return percentileSorted(vals, q)
+}
+
+// Mean returns the mean of the live values (0 if empty).
+func (w *RollingWindow) Mean() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range w.buf[w.head:] {
+		sum += s.V
+	}
+	return sum / float64(n)
+}
+
+// CountSince returns how many live samples have timestamps in (t-span, t].
+// The Fig. 2a instantaneous-QPS measurement uses this with span = 5 ms.
+func (w *RollingWindow) CountSince(t, span int64) int {
+	cut := t - span
+	n := 0
+	for i := len(w.buf) - 1; i >= w.head; i-- {
+		if w.buf[i].T <= cut {
+			break
+		}
+		if w.buf[i].T <= t {
+			n++
+		}
+	}
+	return n
+}

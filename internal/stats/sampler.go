@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws random variates for the synthetic workload models. All
+// samplers are deterministic given the *rand.Rand they are handed.
+type Sampler interface {
+	// Sample draws one variate.
+	Sample(r *rand.Rand) float64
+	// Mean returns the analytic expected value. The workload generators use
+	// it to translate a load fraction into an arrival rate (100% load = the
+	// max request rate at nominal frequency, as in the paper).
+	Mean() float64
+}
+
+// Lognormal samples exp(N(Mu, Sigma^2)), optionally clamped to Max
+// (Max <= 0 disables clamping). The latency-critical service-time models
+// are built from lognormals: tightly clustered apps (masstree, moses) use
+// small Sigma, variable apps (xapian) larger Sigma.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+	Max   float64
+}
+
+// Sample draws one lognormal variate.
+func (l Lognormal) Sample(r *rand.Rand) float64 {
+	v := math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+	if l.Max > 0 && v > l.Max {
+		v = l.Max
+	}
+	return v
+}
+
+// Mean returns the analytic lognormal mean exp(Mu + Sigma^2/2). Clamping
+// bias is negligible for the parameterizations used here (Max is placed
+// several sigma out) and is ignored.
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// LognormalFromMoments builds a Lognormal with the given mean and
+// coefficient of variation (std/mean), clamped at clampSigmas standard
+// deviations of the underlying normal above Mu (0 disables clamping).
+func LognormalFromMoments(mean, cv float64, clampSigmas float64) Lognormal {
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	l := Lognormal{Mu: mu, Sigma: math.Sqrt(sigma2)}
+	if clampSigmas > 0 {
+		l.Max = math.Exp(mu + clampSigmas*l.Sigma)
+	}
+	return l
+}
+
+// Exponential samples an exponential variate with the given mean; it is the
+// interarrival distribution of the Markov input process the paper's clients
+// generate.
+type Exponential struct {
+	MeanValue float64
+}
+
+// Sample draws one exponential variate.
+func (e Exponential) Sample(r *rand.Rand) float64 {
+	return r.ExpFloat64() * e.MeanValue
+}
+
+// Mean returns the configured mean.
+func (e Exponential) Mean() float64 { return e.MeanValue }
+
+// Constant always returns V. Used in tests and for degenerate components.
+type Constant struct {
+	V float64
+}
+
+// Sample returns V.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+
+// Mean returns V.
+func (c Constant) Mean() float64 { return c.V }
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws one uniform variate.
+func (u Uniform) Sample(r *rand.Rand) float64 {
+	return u.Lo + (u.Hi-u.Lo)*r.Float64()
+}
+
+// Mean returns the midpoint.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// MixtureComponent pairs a sampler with its selection weight.
+type MixtureComponent struct {
+	Weight  float64
+	Sampler Sampler
+}
+
+// Mixture samples from one of its components chosen with probability
+// proportional to weight. Multi-modal service times (shore's TPC-C
+// transaction classes, specjbb's short/long requests) are mixtures.
+type Mixture struct {
+	Components []MixtureComponent
+	total      float64
+}
+
+// NewMixture builds a Mixture, precomputing the weight normalization.
+func NewMixture(components ...MixtureComponent) *Mixture {
+	m := &Mixture{Components: components}
+	for _, c := range components {
+		m.total += c.Weight
+	}
+	return m
+}
+
+// Sample draws a component by weight, then samples it.
+func (m *Mixture) Sample(r *rand.Rand) float64 {
+	if len(m.Components) == 0 {
+		return 0
+	}
+	u := r.Float64() * m.total
+	for _, c := range m.Components {
+		if u < c.Weight {
+			return c.Sampler.Sample(r)
+		}
+		u -= c.Weight
+	}
+	return m.Components[len(m.Components)-1].Sampler.Sample(r)
+}
+
+// Mean returns the weight-averaged component mean.
+func (m *Mixture) Mean() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range m.Components {
+		sum += c.Weight * c.Sampler.Mean()
+	}
+	return sum / m.total
+}
+
+// ZipfWork models work driven by a Zipf-distributed popularity rank, as in
+// xapian's "zipfian query popularity" (paper Table 3): popular queries hit
+// caches and are short, unpopular ones walk more of the index. Work is
+// Base * (1 + Slope*ln(1+rank)) with rank ~ Zipf(S) over 0..NRanks-1.
+// Sampling uses a precomputed inverse CDF (binary search, no allocation).
+type ZipfWork struct {
+	Base   float64
+	Slope  float64
+	S      float64 // Zipf exponent (> 0): P[rank=k] ∝ 1/(k+1)^S
+	NRanks int
+	cdf    []float64
+	mean   float64
+}
+
+// NewZipfWork builds a ZipfWork sampler, precomputing the rank CDF and the
+// analytic mean of the transformed work.
+func NewZipfWork(base, slope, s float64, nranks int) *ZipfWork {
+	if nranks < 1 {
+		nranks = 1
+	}
+	z := &ZipfWork{Base: base, Slope: slope, S: s, NRanks: nranks}
+	z.cdf = make([]float64, nranks)
+	var total float64
+	for k := 0; k < nranks; k++ {
+		total += math.Pow(float64(k+1), -s)
+		z.cdf[k] = total
+	}
+	var mean float64
+	prev := 0.0
+	for k := 0; k < nranks; k++ {
+		p := (z.cdf[k] - prev) / total
+		prev = z.cdf[k]
+		mean += p * z.value(k)
+	}
+	z.mean = mean
+	return z
+}
+
+func (z *ZipfWork) value(rank int) float64 {
+	return z.Base * (1 + z.Slope*math.Log1p(float64(rank)))
+}
+
+// Sample draws a popularity rank via inverse-CDF and maps it to work.
+func (z *ZipfWork) Sample(r *rand.Rand) float64 {
+	u := r.Float64() * z.cdf[len(z.cdf)-1]
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return z.value(lo)
+}
+
+// Mean returns the analytic mean of the transformed work.
+func (z *ZipfWork) Mean() float64 { return z.mean }
+
+// Product samples the product of two independent samplers; its mean is the
+// product of the means. xapian's work model is a Zipf popularity term times
+// lognormal per-query noise.
+type Product struct {
+	A, B Sampler
+}
+
+// Sample draws from both factors and multiplies.
+func (p Product) Sample(r *rand.Rand) float64 { return p.A.Sample(r) * p.B.Sample(r) }
+
+// Mean returns the product of the factor means (independence).
+func (p Product) Mean() float64 { return p.A.Mean() * p.B.Mean() }
+
+// Scaled wraps a sampler, multiplying every variate (and the mean) by K.
+type Scaled struct {
+	K float64
+	S Sampler
+}
+
+// Sample draws from the wrapped sampler and scales.
+func (s Scaled) Sample(r *rand.Rand) float64 { return s.K * s.S.Sample(r) }
+
+// Mean returns K times the wrapped mean.
+func (s Scaled) Mean() float64 { return s.K * s.S.Mean() }

@@ -1,0 +1,178 @@
+// Package workload models the request streams of the paper's evaluation:
+// the five latency-critical applications of Table 3 (as synthetic
+// service-time models calibrated to the paper's characterization in Sec. 3),
+// the Markov (Poisson) and step-load arrival processes, reusable request
+// traces, and the SPEC-like batch applications used by RubikColoc.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rubik/internal/cpu"
+	"rubik/internal/sim"
+	"rubik/internal/stats"
+)
+
+// LCApp is a latency-critical application model. Per-request work is split,
+// as in the paper (Sec. 4.1, "Core DVFS and memory"), into compute cycles
+// (which scale with core frequency) and memory-bound time (which does not).
+//
+// Compute cycles are drawn from Compute. Memory time is proportional to the
+// request's compute time at nominal frequency — MemFrac of total nominal
+// service time is memory-bound on average — times multiplicative MemNoise.
+type LCApp struct {
+	// Name is the paper's benchmark name.
+	Name string
+	// Workload describes the configuration, mirroring paper Table 3.
+	Workload string
+	// Compute samples per-request compute cycles.
+	Compute stats.Sampler
+	// MemFrac is the mean fraction of nominal-frequency service time spent
+	// memory-bound (stalls on LLC/DRAM that core DVFS cannot speed up).
+	MemFrac float64
+	// MemNoise multiplies the memory time per request; mean 1.
+	MemNoise stats.Sampler
+	// Requests is the paper's simulated request count (Table 3).
+	Requests int
+}
+
+// memRatio converts MemFrac into the memory/compute time ratio.
+func (a LCApp) memRatio() float64 {
+	return a.MemFrac / (1 - a.MemFrac)
+}
+
+// SampleRequest draws one request's compute cycles and memory-bound time.
+func (a LCApp) SampleRequest(r *rand.Rand) (computeCycles float64, memTime sim.Time) {
+	cc := a.Compute.Sample(r)
+	if cc < 1 {
+		cc = 1
+	}
+	computeNsAtNominal := cc * 1000 / float64(cpu.NominalMHz)
+	noise := 1.0
+	if a.MemNoise != nil {
+		noise = a.MemNoise.Sample(r)
+		if noise < 0 {
+			noise = 0
+		}
+	}
+	mt := sim.Time(computeNsAtNominal * a.memRatio() * noise)
+	return cc, mt
+}
+
+// MeanServiceNsAtNominal returns the analytic mean service time (ns) at
+// nominal frequency, used to convert load fractions into arrival rates
+// (100% load = the maximum request rate at nominal frequency, paper
+// Sec. 5.3).
+func (a LCApp) MeanServiceNsAtNominal() float64 {
+	meanComputeNs := a.Compute.Mean() * 1000 / float64(cpu.NominalMHz)
+	noiseMean := 1.0
+	if a.MemNoise != nil {
+		noiseMean = a.MemNoise.Mean()
+	}
+	return meanComputeNs * (1 + a.memRatio()*noiseMean)
+}
+
+// RateForLoad returns the arrival rate (requests/second) corresponding to a
+// load fraction (0..1+) of the nominal-frequency capacity.
+func (a LCApp) RateForLoad(load float64) float64 {
+	return load * 1e9 / a.MeanServiceNsAtNominal()
+}
+
+// Masstree models the masstree key-value store (mycsb-a, 50% GETs/PUTs,
+// paper Table 3): short requests with tightly clustered service times
+// (Fig. 2b: "service times are fairly stable") and a memory-heavy profile.
+func Masstree() LCApp {
+	return LCApp{
+		Name:     "masstree",
+		Workload: "mycsb-a (50% GETs/PUTs), 1.1GB table",
+		Compute:  stats.LognormalFromMoments(252e3, 0.12, 6),
+		MemFrac:  0.30,
+		MemNoise: stats.LognormalFromMoments(1, 0.15, 5),
+		Requests: 9000,
+	}
+}
+
+// Moses models the moses statistical machine translation system
+// (opensubtitles corpora, phrase mode): long requests, low variability.
+func Moses() LCApp {
+	return LCApp{
+		Name:     "moses",
+		Workload: "opensubtitles.org corpora, phrase mode",
+		Compute:  stats.LognormalFromMoments(7.14e6, 0.18, 6),
+		MemFrac:  0.15,
+		MemNoise: stats.LognormalFromMoments(1, 0.15, 5),
+		Requests: 900,
+	}
+}
+
+// Shore models the Shore-MT OLTP database running TPC-C (10 warehouses):
+// a mixture over the five TPC-C transaction classes gives the variable
+// service times the paper reports (Table 1: service-time correlation 0.56).
+func Shore() LCApp {
+	base := 562e3 // cycles; weighted class mean ≈ 588k cycles
+	classes := stats.NewMixture(
+		stats.MixtureComponent{Weight: 0.45, Sampler: stats.LognormalFromMoments(1.10*base, 0.30, 6)}, // NewOrder
+		stats.MixtureComponent{Weight: 0.43, Sampler: stats.LognormalFromMoments(0.50*base, 0.30, 6)}, // Payment
+		stats.MixtureComponent{Weight: 0.04, Sampler: stats.LognormalFromMoments(0.40*base, 0.30, 6)}, // OrderStatus
+		stats.MixtureComponent{Weight: 0.04, Sampler: stats.LognormalFromMoments(3.50*base, 0.30, 6)}, // Delivery
+		stats.MixtureComponent{Weight: 0.04, Sampler: stats.LognormalFromMoments(4.50*base, 0.30, 6)}, // StockLevel
+	)
+	return LCApp{
+		Name:     "shore",
+		Workload: "TPC-C, 10 warehouses",
+		Compute:  classes,
+		MemFrac:  0.30,
+		MemNoise: stats.LognormalFromMoments(1, 0.20, 5),
+		Requests: 7500,
+	}
+}
+
+// Specjbb models the SPECjbb Java middleware benchmark (1 warehouse):
+// mostly short requests with a minority of much longer ones, yielding the
+// highly variable service times the paper calls out (Secs. 5.2-5.3).
+func Specjbb() LCApp {
+	mix := stats.NewMixture(
+		stats.MixtureComponent{Weight: 0.85, Sampler: stats.LognormalFromMoments(100e3, 0.25, 6)},
+		stats.MixtureComponent{Weight: 0.15, Sampler: stats.LognormalFromMoments(513e3, 0.50, 6)},
+	)
+	return LCApp{
+		Name:     "specjbb",
+		Workload: "1 warehouse",
+		Compute:  mix,
+		MemFrac:  0.25,
+		MemNoise: stats.LognormalFromMoments(1, 0.20, 5),
+		Requests: 37500,
+	}
+}
+
+// Xapian models the xapian web search leaf (English Wikipedia, zipfian
+// query popularity, paper Table 3): work grows logarithmically with the
+// popularity rank of the query, times per-query noise.
+func Xapian() LCApp {
+	zipf := stats.NewZipfWork(1, 1.2, 0.9, 10000)
+	base := stats.Scaled{K: 1.08e6 / zipf.Mean(), S: zipf}
+	return LCApp{
+		Name:     "xapian",
+		Workload: "English Wikipedia, zipfian query popularity",
+		Compute:  stats.Product{A: base, B: stats.LognormalFromMoments(1, 0.30, 6)},
+		MemFrac:  0.25,
+		MemNoise: stats.LognormalFromMoments(1, 0.20, 5),
+		Requests: 6000,
+	}
+}
+
+// Apps returns the five LC applications in the paper's figure order.
+func Apps() []LCApp {
+	return []LCApp{Masstree(), Moses(), Shore(), Specjbb(), Xapian()}
+}
+
+// AppByName looks an application up by its paper name.
+func AppByName(name string) (LCApp, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return LCApp{}, fmt.Errorf("workload: unknown app %q", name)
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rubik/internal/sim"
+)
+
+// ArrivalProcess generates interarrival gaps. The paper's clients produce a
+// Markov input process (exponentially distributed interarrival times,
+// Sec. 5.1); the step processes replay the load-change experiments
+// (Figs. 1b and 10).
+type ArrivalProcess interface {
+	// NextGap returns the gap to the next arrival, given the current time.
+	NextGap(r *rand.Rand, now sim.Time) sim.Time
+}
+
+// Poisson is a stationary Poisson arrival process.
+type Poisson struct {
+	RatePerSec float64
+}
+
+// NextGap samples an exponential interarrival gap.
+func (p Poisson) NextGap(r *rand.Rand, _ sim.Time) sim.Time {
+	if p.RatePerSec <= 0 {
+		return sim.Second // degenerate: 1 req/s
+	}
+	gap := r.ExpFloat64() / p.RatePerSec * 1e9
+	t := sim.Time(gap)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Phase is one segment of a piecewise-constant step-load process.
+type Phase struct {
+	// Start is when this phase begins.
+	Start sim.Time
+	// RatePerSec is the Poisson rate during the phase.
+	RatePerSec float64
+}
+
+// StepLoad is a piecewise-constant Poisson process: the paper's
+// load-change experiments step the input load at fixed times
+// (25%→50%→75% in Fig. 10).
+type StepLoad struct {
+	Phases []Phase
+}
+
+// NewStepLoad validates and sorts phases. The first phase must start at 0.
+func NewStepLoad(phases ...Phase) (StepLoad, error) {
+	if len(phases) == 0 {
+		return StepLoad{}, fmt.Errorf("workload: StepLoad needs at least one phase")
+	}
+	ps := make([]Phase, len(phases))
+	copy(ps, phases)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+	if ps[0].Start != 0 {
+		return StepLoad{}, fmt.Errorf("workload: first phase must start at t=0, got %d", ps[0].Start)
+	}
+	return StepLoad{Phases: ps}, nil
+}
+
+// rateAt returns the phase rate in effect at time t.
+func (s StepLoad) rateAt(t sim.Time) float64 {
+	rate := s.Phases[0].RatePerSec
+	for _, p := range s.Phases {
+		if p.Start > t {
+			break
+		}
+		rate = p.RatePerSec
+	}
+	return rate
+}
+
+// NextGap samples from the rate in effect now. (Rates change rarely
+// relative to interarrival gaps, so re-sampling at the phase boundary is
+// not modeled; this matches how the paper's client steps QPS.)
+func (s StepLoad) NextGap(r *rand.Rand, now sim.Time) sim.Time {
+	return Poisson{RatePerSec: s.rateAt(now)}.NextGap(r, now)
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rubik/internal/sim"
+)
+
+// Request is one latency-critical request in a trace: its arrival time and
+// its work, split into frequency-scalable compute cycles and
+// frequency-invariant memory-bound time.
+type Request struct {
+	ID            int      `json:"id"`
+	Arrival       sim.Time `json:"arrivalNs"`
+	ComputeCycles float64  `json:"computeCycles"`
+	MemTime       sim.Time `json:"memTimeNs"`
+}
+
+// ServiceNs returns the request's uninterrupted service time in ns at a
+// constant frequency fMHz.
+func (r Request) ServiceNs(fMHz int) float64 {
+	return r.ComputeCycles*1000/float64(fMHz) + float64(r.MemTime)
+}
+
+// Trace is a reusable request stream. Every scheme in an experiment replays
+// the same trace, mirroring the paper's trace-driven methodology (Sec. 5.3:
+// "we capture per-request arrival times, core cycles, memory-bound times
+// ... and replay the trace under different schemes").
+type Trace struct {
+	App      string    `json:"app"`
+	Seed     int64     `json:"seed"`
+	Requests []Request `json:"requests"`
+}
+
+// Generate builds a trace of n requests for app using the given arrival
+// process and seed. It is fully deterministic.
+func Generate(app LCApp, arrivals ArrivalProcess, n int, seed int64) Trace {
+	r := rand.New(rand.NewSource(seed))
+	tr := Trace{App: app.Name, Seed: seed, Requests: make([]Request, 0, n)}
+	var now sim.Time
+	for i := 0; i < n; i++ {
+		now += arrivals.NextGap(r, now)
+		cc, mt := app.SampleRequest(r)
+		tr.Requests = append(tr.Requests, Request{
+			ID:            i,
+			Arrival:       now,
+			ComputeCycles: cc,
+			MemTime:       mt,
+		})
+	}
+	return tr
+}
+
+// GenerateAtLoad builds a Poisson trace at a fraction of the app's
+// nominal-frequency capacity.
+func GenerateAtLoad(app LCApp, load float64, n int, seed int64) Trace {
+	return Generate(app, Poisson{RatePerSec: app.RateForLoad(load)}, n, seed)
+}
+
+// Duration returns the time of the last arrival (0 for an empty trace).
+func (t Trace) Duration() sim.Time {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	return t.Requests[len(t.Requests)-1].Arrival
+}
+
+// MeanServiceNs returns the empirical mean service time at fMHz.
+func (t Trace) MeanServiceNs(fMHz int) float64 {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range t.Requests {
+		sum += r.ServiceNs(fMHz)
+	}
+	return sum / float64(len(t.Requests))
+}
+
+// Stats summarizes a trace's service-time and arrival statistics.
+type Stats struct {
+	Requests           int
+	DurationNs         int64
+	MeanServiceNs      float64
+	CVService          float64
+	P50ServiceNs       float64
+	P95ServiceNs       float64
+	P99ServiceNs       float64
+	MeanInterarrivalNs float64
+	OfferedLoad        float64 // at nominal frequency
+	MemShare           float64 // memory-bound fraction of total work time
+}
+
+// Describe computes summary statistics at the given frequency.
+func (t Trace) Describe(fMHz int) Stats {
+	s := Stats{Requests: len(t.Requests), DurationNs: int64(t.Duration())}
+	if len(t.Requests) == 0 {
+		return s
+	}
+	services := make([]float64, len(t.Requests))
+	var sum, sumSq, memNs, totalNs float64
+	for i, r := range t.Requests {
+		v := r.ServiceNs(fMHz)
+		services[i] = v
+		sum += v
+		sumSq += v * v
+		memNs += float64(r.MemTime)
+		totalNs += v
+	}
+	n := float64(len(services))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sort.Float64s(services)
+	s.MeanServiceNs = mean
+	s.CVService = math.Sqrt(variance) / mean
+	s.P50ServiceNs = services[len(services)/2]
+	s.P95ServiceNs = services[int(0.95*float64(len(services)-1))]
+	s.P99ServiceNs = services[int(0.99*float64(len(services)-1))]
+	if len(t.Requests) > 1 {
+		s.MeanInterarrivalNs = float64(t.Duration()) / float64(len(t.Requests)-1)
+	}
+	if t.Duration() > 0 {
+		s.OfferedLoad = totalNs / float64(t.Duration())
+	}
+	if totalNs > 0 {
+		s.MemShare = memNs / totalNs
+	}
+	return s
+}
+
+// Save writes the trace as JSON.
+func (t Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Load reads a trace written by Save and validates its invariants
+// (non-decreasing arrivals, positive work).
+func Load(rd io.Reader) (Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(rd).Decode(&t); err != nil {
+		return Trace{}, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	var prev sim.Time
+	for i, r := range t.Requests {
+		if r.Arrival < prev {
+			return Trace{}, fmt.Errorf("workload: trace arrival %d goes backwards", i)
+		}
+		if r.ComputeCycles <= 0 || r.MemTime < 0 {
+			return Trace{}, fmt.Errorf("workload: trace request %d has invalid work", i)
+		}
+		prev = r.Arrival
+	}
+	return t, nil
+}

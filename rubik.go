@@ -1,0 +1,171 @@
+// Package rubik is a Go reproduction of "Rubik: Fast Analytical Power
+// Management for Latency-Critical Systems" (Kasture, Bartolini, Beckmann,
+// Sanchez — MICRO-48, 2015).
+//
+// Rubik is a fine-grain per-core DVFS controller: on every request arrival
+// and completion it consults a statistical model of per-request work
+// (compute cycles and memory-bound time, profiled online) to pick the
+// lowest core frequency that keeps the tail (95th-percentile) response
+// latency under a bound. This module contains the controller itself, the
+// discrete-event simulation substrate the paper's evaluation needs (cores
+// with DVFS and power models, latency-critical workload models, Poisson and
+// step-load clients), the baseline schemes it is compared against
+// (Fixed-frequency, StaticOracle, AdrenalineOracle, DynamicOracle, and a
+// Pegasus-style feedback controller), the RubikColoc colocation substrate,
+// a datacenter fleet model, and one experiment driver per table/figure of
+// the paper.
+//
+// # Quick start
+//
+//	app, _ := rubik.AppByName("masstree")
+//	trace := rubik.GenerateTrace(app, 0.4, 9000, 1)    // 40% load
+//	bound, _ := rubik.TailBound(app, 1)                // p95 @ fixed 2.4 GHz, 50% load
+//	ctl, _ := rubik.NewController(bound)
+//	res, _ := rubik.Simulate(trace, ctl)
+//	fmt.Printf("p95 %.3f ms using %.3f mJ/request\n",
+//		res.TailNs(0.95, 0.1)/1e6, res.EnergyPerRequestJ()*1e3)
+//
+// Experiment drivers (rubik.Experiments, rubik.RunExperiment) regenerate
+// every table and figure of the paper's evaluation; the rubiksim command
+// wraps them for the shell. DESIGN.md documents the architecture and the
+// substitutions made for the paper's hardware-bound artifacts, and
+// EXPERIMENTS.md records paper-vs-measured results.
+package rubik
+
+import (
+	"fmt"
+	"io"
+
+	rubikcore "rubik/internal/core"
+	"rubik/internal/cpu"
+	"rubik/internal/experiments"
+	"rubik/internal/policy"
+	"rubik/internal/queueing"
+	"rubik/internal/workload"
+)
+
+// Core aliases: the facade re-exports the building blocks so downstream
+// code can use the library without reaching into internal packages.
+type (
+	// App is a latency-critical application model (paper Table 3).
+	App = workload.LCApp
+	// BatchApp is a throughput-oriented batch application model.
+	BatchApp = workload.BatchApp
+	// Trace is a reusable request stream; every scheme in a comparison
+	// replays the same trace.
+	Trace = workload.Trace
+	// Request is one request of a trace.
+	Request = workload.Request
+	// Controller is the Rubik DVFS controller (the paper's contribution).
+	Controller = rubikcore.Rubik
+	// ControllerConfig tunes a Controller.
+	ControllerConfig = rubikcore.Config
+	// Policy decides core frequencies on each arrival and completion.
+	Policy = queueing.Policy
+	// Result is the outcome of simulating a trace under a policy.
+	Result = queueing.Result
+	// Completion records one served request.
+	Completion = queueing.Completion
+	// ServerConfig parameterizes the simulated core.
+	ServerConfig = queueing.Config
+	// Grid is a DVFS frequency grid.
+	Grid = cpu.Grid
+	// PowerModel is the analytical core power model.
+	PowerModel = cpu.PowerModel
+	// ExperimentOptions tunes experiment fidelity.
+	ExperimentOptions = experiments.Options
+	// Experiment describes one registered paper artifact driver.
+	Experiment = experiments.Entry
+)
+
+// NominalMHz is the nominal core frequency (2.4 GHz, paper Table 2).
+const NominalMHz = cpu.NominalMHz
+
+// TailPercentile is the paper's tail definition (95th percentile).
+const TailPercentile = 0.95
+
+// Apps returns the five latency-critical application models in the paper's
+// order: masstree, moses, shore, specjbb, xapian.
+func Apps() []App { return workload.Apps() }
+
+// AppByName looks an application model up by its paper name.
+func AppByName(name string) (App, error) { return workload.AppByName(name) }
+
+// DefaultGrid returns the paper's DVFS grid (0.8-3.4 GHz, 200 MHz steps).
+func DefaultGrid() Grid { return cpu.DefaultGrid() }
+
+// DefaultServerConfig returns the paper's simulated-core configuration.
+func DefaultServerConfig() ServerConfig { return queueing.DefaultConfig() }
+
+// GenerateTrace builds a Poisson request trace at a fraction of the app's
+// nominal-frequency capacity (1.0 = the maximum rate at 2.4 GHz).
+func GenerateTrace(app App, load float64, n int, seed int64) Trace {
+	return workload.GenerateAtLoad(app, load, n, seed)
+}
+
+// TailBound measures the app's latency bound the way the paper defines it:
+// the p95 response latency of fixed-nominal execution at 50% load.
+func TailBound(app App, seed int64) (float64, error) {
+	tr := workload.GenerateAtLoad(app, 0.5, app.Requests, seed)
+	res, err := queueing.Run(tr, queueing.FixedPolicy{MHz: cpu.NominalMHz}, queueing.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	return res.TailNs(TailPercentile, 0), nil
+}
+
+// NewController builds a Rubik controller with the paper's parameters for
+// the given tail latency bound (ns).
+func NewController(latencyBoundNs float64) (*Controller, error) {
+	return rubikcore.New(rubikcore.DefaultConfig(latencyBoundNs))
+}
+
+// NewControllerWithConfig builds a Rubik controller with explicit settings.
+func NewControllerWithConfig(cfg ControllerConfig) (*Controller, error) {
+	return rubikcore.New(cfg)
+}
+
+// Fixed returns the Fixed-frequency baseline policy.
+func Fixed(mhz int) Policy { return queueing.FixedPolicy{MHz: mhz} }
+
+// Simulate runs a trace under a policy on the default simulated core.
+func Simulate(tr Trace, p Policy) (Result, error) {
+	return queueing.Run(tr, p, queueing.DefaultConfig())
+}
+
+// SimulateWithConfig runs a trace under a policy with an explicit core
+// configuration.
+func SimulateWithConfig(tr Trace, p Policy, cfg ServerConfig) (Result, error) {
+	return queueing.Run(tr, p, cfg)
+}
+
+// StaticOracleMHz returns the lowest static frequency whose replay of the
+// trace meets the bound (paper Sec. 5.2), and whether any frequency does.
+func StaticOracleMHz(tr Trace, boundNs float64) (mhz int, feasible bool, err error) {
+	res, err := policy.StaticOracle(tr, cpu.DefaultGrid(), boundNs, TailPercentile, policy.DefaultReplayConfig())
+	if err != nil {
+		return 0, false, err
+	}
+	return res.MHz, res.Feasible, nil
+}
+
+// Experiments lists the registered paper-artifact drivers.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// RunExperiment executes a registered experiment by ID (e.g. "fig6") and
+// writes its text rendering to w.
+func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
+	return experiments.RunAndRender(id, opts, w)
+}
+
+// Validate sanity-checks a server configuration (exported for callers that
+// assemble configurations by hand).
+func Validate(cfg ServerConfig) error {
+	if cfg.Grid.Len() == 0 {
+		return fmt.Errorf("rubik: empty frequency grid")
+	}
+	if cfg.InitialMHz != 0 && cfg.Grid.Index(cfg.InitialMHz) < 0 {
+		return fmt.Errorf("rubik: initial frequency %d not on grid", cfg.InitialMHz)
+	}
+	return cfg.Power.Validate()
+}

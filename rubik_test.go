@@ -1,0 +1,116 @@
+package rubik_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rubik"
+)
+
+func TestFacadeApps(t *testing.T) {
+	apps := rubik.Apps()
+	if len(apps) != 5 {
+		t.Fatalf("Apps() = %d entries", len(apps))
+	}
+	if _, err := rubik.AppByName("masstree"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rubik.AppByName("bogus"); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	app, err := rubik.AppByName("masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := rubik.TailBound(app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 {
+		t.Fatalf("bound = %v", bound)
+	}
+	tr := rubik.GenerateTrace(app, 0.4, 3000, 2)
+	fixed, err := rubik.Simulate(tr, rubik.Fixed(rubik.NominalMHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := rubik.NewController(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rubik.Simulate(tr, ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveEnergyJ >= fixed.ActiveEnergyJ {
+		t.Fatalf("Rubik energy %v not below fixed %v", res.ActiveEnergyJ, fixed.ActiveEnergyJ)
+	}
+	if tail := res.TailNs(rubik.TailPercentile, 0.1); tail > bound*1.1 {
+		t.Fatalf("Rubik tail %v above bound %v", tail, bound)
+	}
+}
+
+func TestFacadeStaticOracle(t *testing.T) {
+	app, err := rubik.AppByName("moses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := rubik.TailBound(app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rubik.GenerateTrace(app, 0.3, 900, 3)
+	mhz, feasible, err := rubik.StaticOracleMHz(tr, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feasible {
+		t.Fatal("static oracle infeasible at 30% load")
+	}
+	if mhz >= rubik.NominalMHz {
+		t.Fatalf("oracle chose %d MHz at 30%% load", mhz)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(rubik.Experiments()) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(rubik.Experiments()))
+	}
+	var buf bytes.Buffer
+	opts := rubik.ExperimentOptions{Quick: true, Seed: 1}
+	if err := rubik.RunExperiment("table2", opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DVFS") {
+		t.Fatal("table2 output missing expected content")
+	}
+	if err := rubik.RunExperiment("bogus", opts, &buf); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFacadeValidate(t *testing.T) {
+	cfg := rubik.DefaultServerConfig()
+	if err := rubik.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.InitialMHz = 999
+	if err := rubik.Validate(cfg); err == nil {
+		t.Fatal("off-grid initial frequency must fail validation")
+	}
+	var zero rubik.ServerConfig
+	if err := rubik.Validate(zero); err == nil {
+		t.Fatal("zero config must fail validation")
+	}
+}
+
+func TestFacadeControllerConfig(t *testing.T) {
+	cfg := rubik.ControllerConfig{}
+	if _, err := rubik.NewControllerWithConfig(cfg); err == nil {
+		t.Fatal("zero controller config must error")
+	}
+}
