@@ -10,6 +10,7 @@ package rubik_test
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"rubik"
@@ -53,6 +54,7 @@ func BenchmarkFig15(b *testing.B)                { benchExperiment(b, "fig15") }
 func BenchmarkFig16(b *testing.B)                { benchExperiment(b, "fig16") }
 func BenchmarkAblation(b *testing.B)             { benchExperiment(b, "ablation") }
 func BenchmarkPegasus(b *testing.B)              { benchExperiment(b, "pegasus") }
+func BenchmarkClusterScale(b *testing.B)         { benchExperiment(b, "clusterscale") }
 
 // Micro-benchmarks of the hot paths.
 
@@ -124,6 +126,41 @@ func BenchmarkEventSim(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkClusterSimulate measures the paper-shaped 6-core cluster: one
+// shared engine, a fresh Rubik controller per core, JSQ dispatch
+// (ns per simulated request ≈ reported time / 12000).
+func BenchmarkClusterSimulate(b *testing.B) {
+	app := workload.Masstree()
+	tr := workload.GenerateAtLoad(app, 0.5*6, 12000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := rubik.NewCluster(6, rubik.JSQDispatcher(), func(int) (rubik.Policy, error) {
+			return rubik.NewController(500_000)
+		})
+		if _, err := rubik.SimulateCluster(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWorkers runs the clusterscale sweep at a fixed fan-out, so the
+// sequential-vs-parallel speedup of the experiment runner is measurable
+// in the bench trajectory (compare ClusterScaleSequential to
+// ClusterScaleParallel).
+func benchWorkers(b *testing.B, workers int) {
+	b.Helper()
+	opts := experiments.Options{Quick: true, Seed: 42, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAndRender("clusterscale", opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterScaleSequential(b *testing.B) { benchWorkers(b, 1) }
+func BenchmarkClusterScaleParallel(b *testing.B)   { benchWorkers(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkReplay measures the analytic FIFO replay the oracles use.
 func BenchmarkReplay(b *testing.B) {

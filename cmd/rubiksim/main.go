@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (see -list), or \"all\"")
-		list  = flag.Bool("list", false, "list available experiments")
-		quick = flag.Bool("quick", false, "reduced request counts (smoke mode)")
-		seed  = flag.Int64("seed", 42, "random seed")
-		out   = flag.String("out", "", "write output to this file instead of stdout")
+		exp     = flag.String("exp", "", "experiment ID to run (see -list), or \"all\"")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "reduced request counts (smoke mode)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		out     = flag.String("out", "", "write output to this file instead of stdout")
+		workers = flag.Int("workers", 0, "parallel simulation fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 		w = f
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = ids[:0]

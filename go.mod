@@ -1,0 +1,3 @@
+module rubik
+
+go 1.24

@@ -1,0 +1,220 @@
+// Package cluster simulates a multi-core server on one shared
+// discrete-event engine: N instances of the single-core run loop
+// (queueing.Core), each under its own frequency policy, behind a pluggable
+// request dispatcher. It is the substrate for the paper's 6-core CMP
+// evaluated as a whole server rather than by per-core extrapolation, and
+// scales to any core count.
+//
+// Determinism: the engine fires equal-timestamp events in scheduling
+// order, every dispatcher is deterministic given its construction
+// parameters (Run resets it before replaying), and each core's policy is
+// built fresh by the config's NewPolicy factory — so two runs of the same
+// trace under the same config produce identical Results.
+package cluster
+
+import (
+	"fmt"
+
+	"rubik/internal/queueing"
+	"rubik/internal/sim"
+	"rubik/internal/stats"
+	"rubik/internal/workload"
+)
+
+// Config parameterizes a simulated multi-core server.
+type Config struct {
+	// Cores is the number of cores (paper CMP: 6).
+	Cores int
+	// Dispatcher routes arriving requests (default: round-robin).
+	Dispatcher Dispatcher
+	// Core parameterizes every core (grid, power model, DVFS latency...).
+	Core queueing.Config
+	// NewPolicy builds the frequency policy for core i. Policies are
+	// stateful (Rubik profiles online), so every core needs a fresh one.
+	NewPolicy func(core int) (queueing.Policy, error)
+}
+
+// DefaultConfig returns a 6-core server with round-robin dispatch and
+// fixed-nominal cores, matching the paper's CMP (Table 2).
+func DefaultConfig() Config {
+	return Config{
+		Cores:      6,
+		Dispatcher: NewRoundRobin(),
+		Core:       queueing.DefaultConfig(),
+		NewPolicy: func(int) (queueing.Policy, error) {
+			return queueing.FixedPolicy{MHz: queueing.DefaultConfig().InitialMHz}, nil
+		},
+	}
+}
+
+// Result is the outcome of simulating one trace on a cluster.
+type Result struct {
+	// Dispatcher is the dispatch discipline's name.
+	Dispatcher string
+	// PerCore holds each core's single-core Result (completions in that
+	// core's service order).
+	PerCore []queueing.Result
+	// Routed[i] counts the requests dispatched to core i.
+	Routed []int
+	// EndTime is when the last event fired (all cores share the engine).
+	EndTime sim.Time
+}
+
+// Completions pools all cores' completions ordered by completion time
+// (ties by core index), i.e. the order a shared front-end would observe.
+func (r Result) Completions() []queueing.Completion {
+	var total int
+	for _, c := range r.PerCore {
+		total += len(c.Completions)
+	}
+	out := make([]queueing.Completion, 0, total)
+	// k-way merge by Done time; per-core slices are already sorted.
+	idx := make([]int, len(r.PerCore))
+	for len(out) < total {
+		best := -1
+		for i, c := range r.PerCore {
+			if idx[i] >= len(c.Completions) {
+				continue
+			}
+			if best < 0 || c.Completions[idx[i]].Done < r.PerCore[best].Completions[idx[best]].Done {
+				best = i
+			}
+		}
+		out = append(out, r.PerCore[best].Completions[idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// TailNs pools post-warmup responses across cores and returns the
+// q-quantile (warmup is trimmed per core, as in the paper's steady-state
+// methodology).
+func (r Result) TailNs(q, warmupFrac float64) float64 {
+	var all []float64
+	for _, c := range r.PerCore {
+		all = append(all, c.Responses(warmupFrac)...)
+	}
+	return stats.Percentile(all, q)
+}
+
+// ActiveEnergyJ sums active core energy across cores.
+func (r Result) ActiveEnergyJ() float64 {
+	var e float64
+	for _, c := range r.PerCore {
+		e += c.ActiveEnergyJ
+	}
+	return e
+}
+
+// TotalEnergyJ sums active plus idle energy across cores.
+func (r Result) TotalEnergyJ() float64 {
+	var e float64
+	for _, c := range r.PerCore {
+		e += c.ActiveEnergyJ + c.IdleEnergyJ
+	}
+	return e
+}
+
+// EnergyPerRequestJ is pooled active energy per completed request.
+func (r Result) EnergyPerRequestJ() float64 {
+	var n int
+	for _, c := range r.PerCore {
+		n += len(c.Completions)
+	}
+	if n == 0 {
+		return 0
+	}
+	return r.ActiveEnergyJ() / float64(n)
+}
+
+// MeanBusyCores is the average number of simultaneously busy cores (the
+// uncore activity driver in the system power model).
+func (r Result) MeanBusyCores() float64 {
+	if r.EndTime == 0 {
+		return 0
+	}
+	var busy float64
+	for _, c := range r.PerCore {
+		busy += float64(c.ActiveNs)
+	}
+	return busy / float64(r.EndTime)
+}
+
+// Run simulates the trace on a cluster: one shared engine, Cores cores
+// each under a fresh policy, with the dispatcher routing every arrival.
+// The dispatcher sees exact queue state: all cores are accrued to the
+// arrival instant before it picks.
+func Run(tr workload.Trace, cfg Config) (Result, error) {
+	if cfg.Cores <= 0 {
+		return Result{}, fmt.Errorf("cluster: need at least 1 core, got %d", cfg.Cores)
+	}
+	if cfg.NewPolicy == nil {
+		return Result{}, fmt.Errorf("cluster: nil NewPolicy factory")
+	}
+	if cfg.Dispatcher == nil {
+		cfg.Dispatcher = NewRoundRobin()
+	}
+	cfg.Dispatcher.Reset()
+
+	eng := sim.NewEngine()
+	cores := make([]*queueing.Core, cfg.Cores)
+	for i := range cores {
+		p, err := cfg.NewPolicy(i)
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: building policy for core %d: %w", i, err)
+		}
+		c, err := queueing.NewCore(eng, p, cfg.Core)
+		if err != nil {
+			return Result{}, err
+		}
+		cores[i] = c
+	}
+
+	routed := make([]int, cfg.Cores)
+	states := make([]CoreState, cfg.Cores)
+	var pickErr error
+	var feed *queueing.Feeder
+	feed = queueing.NewFeeder(eng, tr.Requests, func(req workload.Request) {
+		for i, c := range cores {
+			c.Accrue()
+			states[i] = CoreState{
+				Index:         i,
+				QueueLen:      c.QueueLen(),
+				PendingWorkNs: c.PendingWorkNs(),
+				CurrentMHz:    c.CurrentMHz(),
+			}
+		}
+		i := cfg.Dispatcher.Pick(req, states)
+		if i < 0 || i >= len(cores) {
+			// A broken dispatcher must surface, not silently skew results;
+			// route to core 0 so the simulation still drains, and fail the
+			// run afterwards.
+			if pickErr == nil {
+				pickErr = fmt.Errorf("cluster: dispatcher %s picked core %d of %d for request %d",
+					cfg.Dispatcher.Name(), i, len(cores), req.ID)
+			}
+			i = 0
+		}
+		routed[i]++
+		cores[i].Enqueue(req)
+	})
+	feed.Start()
+	for _, c := range cores {
+		c.StartTicks(func() bool { return feed.Remaining() > 0 })
+	}
+	eng.Run()
+	if pickErr != nil {
+		return Result{}, pickErr
+	}
+
+	res := Result{
+		Dispatcher: cfg.Dispatcher.Name(),
+		PerCore:    make([]queueing.Result, cfg.Cores),
+		Routed:     routed,
+		EndTime:    eng.Now(),
+	}
+	for i, c := range cores {
+		res.PerCore[i] = c.Finalize()
+	}
+	return res, nil
+}

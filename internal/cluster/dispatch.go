@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"rubik/internal/sim"
+	"rubik/internal/workload"
+)
+
+// CoreState is the dispatcher-visible snapshot of one core at an arrival.
+// The cluster accrues every core before building the snapshot, so queue
+// lengths and pending work are exact as of the arrival instant.
+type CoreState struct {
+	// Index is the core's position in the cluster.
+	Index int
+	// QueueLen is the number of requests in the core's system (head in
+	// service).
+	QueueLen int
+	// PendingWorkNs is the estimated time to drain the core's queue at its
+	// current frequency.
+	PendingWorkNs sim.Time
+	// CurrentMHz is the core's executing frequency.
+	CurrentMHz int
+}
+
+// Dispatcher routes arriving requests to cores. Implementations must be
+// deterministic given their construction parameters: Run calls Reset
+// before replaying a trace, so repeated simulations of the same trace
+// under the same configuration are identical.
+type Dispatcher interface {
+	// Name identifies the dispatch discipline in results and reports.
+	Name() string
+	// Reset returns the dispatcher to its initial state.
+	Reset()
+	// Pick returns the index of the core the request is routed to.
+	Pick(req workload.Request, cores []CoreState) int
+}
+
+// Random routes each request to a uniformly random core from a seeded
+// stream, so the routing is reproducible given the seed.
+type Random struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewRandom returns a seeded random dispatcher.
+func NewRandom(seed int64) *Random {
+	return &Random{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Dispatcher.
+func (d *Random) Name() string { return "random" }
+
+// Reset implements Dispatcher: the routing stream restarts from the seed.
+func (d *Random) Reset() { d.rng = rand.New(rand.NewSource(d.seed)) }
+
+// Pick implements Dispatcher.
+func (d *Random) Pick(_ workload.Request, cores []CoreState) int {
+	return d.rng.Intn(len(cores))
+}
+
+// RoundRobin cycles through the cores in index order.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a round-robin dispatcher starting at core 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Dispatcher.
+func (d *RoundRobin) Name() string { return "roundrobin" }
+
+// Reset implements Dispatcher.
+func (d *RoundRobin) Reset() { d.next = 0 }
+
+// Pick implements Dispatcher.
+func (d *RoundRobin) Pick(_ workload.Request, cores []CoreState) int {
+	i := d.next % len(cores)
+	d.next = (d.next + 1) % len(cores)
+	return i
+}
+
+// JSQ is join-shortest-queue: the core with the fewest queued requests
+// wins; ties break to the lowest core index, keeping the routing
+// deterministic.
+type JSQ struct{}
+
+// NewJSQ returns a join-shortest-queue dispatcher.
+func NewJSQ() JSQ { return JSQ{} }
+
+// Name implements Dispatcher.
+func (JSQ) Name() string { return "jsq" }
+
+// Reset implements Dispatcher (JSQ is stateless).
+func (JSQ) Reset() {}
+
+// Pick implements Dispatcher.
+func (JSQ) Pick(_ workload.Request, cores []CoreState) int {
+	best := 0
+	for i := 1; i < len(cores); i++ {
+		if cores[i].QueueLen < cores[best].QueueLen {
+			best = i
+		}
+	}
+	return best
+}
+
+// LeastWork routes to the core with the least pending work (queue drain
+// time at the core's current frequency), which accounts for both queue
+// depth and per-core DVFS state; ties break to the lowest core index.
+type LeastWork struct{}
+
+// NewLeastWork returns a least-pending-work dispatcher.
+func NewLeastWork() LeastWork { return LeastWork{} }
+
+// Name implements Dispatcher.
+func (LeastWork) Name() string { return "leastwork" }
+
+// Reset implements Dispatcher (LeastWork is stateless).
+func (LeastWork) Reset() {}
+
+// Pick implements Dispatcher.
+func (LeastWork) Pick(_ workload.Request, cores []CoreState) int {
+	best := 0
+	for i := 1; i < len(cores); i++ {
+		if cores[i].PendingWorkNs < cores[best].PendingWorkNs {
+			best = i
+		}
+	}
+	return best
+}
+
+// Dispatchers returns one instance of every dispatch discipline, seeding
+// the random one; the order is stable for experiment sweeps.
+func Dispatchers(seed int64) []Dispatcher {
+	return []Dispatcher{NewRandom(seed), NewRoundRobin(), NewJSQ(), NewLeastWork()}
+}

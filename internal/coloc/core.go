@@ -63,32 +63,16 @@ func (r CoreResult) TailNs(q, warmupFrac float64) float64 {
 	return percentile(vals, q)
 }
 
-type colReq struct {
-	req          workload.Request
-	remainingCC  float64
-	remainingMem float64
-	elapsedCC    float64
-	elapsedMem   float64
-	start        sim.Time
-	qlenAtArr    int
-	started      bool
-}
-
-// core is the colocated-core simulator. It mirrors queueing.server but
-// fills LC idle time with batch execution and applies the core-state
-// interference model when the LC app resumes.
+// core is the colocated-core simulator: the shared queueing.Core serving
+// the LC stream, with hooks that fill LC idle time with batch execution
+// and apply the core-state interference model when the LC app resumes.
+// The request-serving loop itself lives in queueing.Core; this type only
+// adds the colocation semantics.
 type core struct {
-	eng *sim.Engine
-	cfg CoreConfig
-
-	next  int
-	queue []*colReq
-
-	cur           int
-	target        int
-	switchPending bool
-	lastAccrual   sim.Time
-	gen           uint64
+	eng  *sim.Engine
+	cfg  CoreConfig
+	qc   *queueing.Core
+	feed *queueing.Feeder
 
 	// Interference state.
 	batchOccupiedNs float64 // duration of the most recent batch occupancy
@@ -96,7 +80,10 @@ type core struct {
 	batchRunning    bool
 	lcMeanCycles    float64 // the LC app's working-set proxy
 
-	res CoreResult
+	// Batch progress accrued in the LC idle gaps.
+	batchUnits   float64
+	batchEnergyJ float64
+	batchBusyNs  float64
 }
 
 // newCore validates the config and prepares a core on the given engine.
@@ -113,234 +100,114 @@ func newCore(eng *sim.Engine, cfg CoreConfig) (*core, error) {
 	if !cfg.ExternalFreq && cfg.BatchMHz == 0 {
 		cfg.BatchMHz = cfg.Batch.OptimalTPWFreq(cfg.Grid, cfg.Power)
 	}
+	qc, err := queueing.NewCore(eng, cfg.LCPolicy, queueing.Config{
+		Grid:              cfg.Grid,
+		Power:             cfg.Power,
+		TransitionLatency: cfg.TransitionLatency,
+		InitialMHz:        cfg.InitialMHz,
+		// No WakeLatency: the core never sleeps — batch work keeps it busy,
+		// and the resume cost is the interference model's preemption
+		// latency instead.
+	})
+	if err != nil {
+		return nil, err
+	}
 	c := &core{
 		eng:          eng,
 		cfg:          cfg,
-		cur:          cfg.InitialMHz,
-		target:       cfg.InitialMHz,
+		qc:           qc,
 		batchRunning: true, // batch occupies the core until LC work arrives
 		lcMeanCycles: cfg.App.Compute.Mean(),
 	}
+	qc.SetHooks(queueing.Hooks{
+		StartService: c.startService,
+		Busy:         c.onBusy,
+		Idle:         c.onIdle,
+		IdleAccrual:  c.accrueBatch,
+		// Only actuate the LC policy's periodic tick while the LC app owns
+		// the core.
+		GateTick: func() bool { return qc.QueueLen() > 0 },
+	})
+	c.feed = queueing.NewFeeder(eng, cfg.Trace.Requests, qc.Enqueue)
 	return c, nil
 }
 
 // start schedules the first arrival and policy tick.
 func (c *core) start() {
-	if len(c.cfg.Trace.Requests) > 0 {
-		c.eng.At(c.cfg.Trace.Requests[0].Arrival, c.arrivalEvent)
-	}
-	if t, ok := c.cfg.LCPolicy.(queueing.Ticker); ok && t.TickEvery() > 0 {
-		c.eng.After(t.TickEvery(), func() { c.tickEvent(t) })
-	}
+	c.feed.Start()
+	c.qc.StartTicks(func() bool { return c.feed.Remaining() > 0 })
 	if c.batchRunning {
 		c.occupancyStart = c.eng.Now()
 		if !c.cfg.ExternalFreq {
-			c.applyFreq(c.cfg.BatchMHz)
+			c.qc.ApplyFreq(c.cfg.BatchMHz)
 		}
 	}
 }
 
-func (c *core) accrue() {
-	now := c.eng.Now()
-	dt := now - c.lastAccrual
-	c.lastAccrual = now
-	if dt <= 0 {
-		return
-	}
-	dtNs := float64(dt)
-	if len(c.queue) == 0 {
-		// Batch occupies the core: accrue units and batch energy.
-		c.res.BatchUnits += c.cfg.Batch.UnitsPerSec(c.cur) * dtNs / 1e9
-		c.res.BatchEnergyJ += c.cfg.Batch.PowerW(c.cur, c.cfg.Power) * dtNs / 1e9
-		c.res.BatchBusyNs += dtNs
-		return
-	}
-	c.res.LCEnergyJ += c.cfg.Power.ActivePower(c.cur) * dtNs / 1e9
-	c.res.LCBusyNs += dtNs
-	head := c.queue[0]
-	total := head.remainingCC*1000/float64(c.cur) + head.remainingMem
-	if total <= 0 {
-		return
-	}
-	alpha := dtNs / total
-	if alpha > 1 {
-		alpha = 1
-	}
-	dCC := head.remainingCC * alpha
-	dMem := head.remainingMem * alpha
-	head.remainingCC -= dCC
-	head.remainingMem -= dMem
-	head.elapsedCC += dCC
-	head.elapsedMem += dMem
+// accrueBatch charges batch units and energy for an LC-idle span: batch
+// occupies the core instead of sleep.
+func (c *core) accrueBatch(dtNs float64, curMHz int) {
+	c.batchUnits += c.cfg.Batch.UnitsPerSec(curMHz) * dtNs / 1e9
+	c.batchEnergyJ += c.cfg.Batch.PowerW(curMHz, c.cfg.Power) * dtNs / 1e9
+	c.batchBusyNs += dtNs
 }
 
-// beginService applies the interference model to the request taking the
+// onBusy closes the batch occupancy window when LC work preempts batch.
+func (c *core) onBusy(now sim.Time) {
+	if c.batchRunning {
+		c.batchOccupiedNs = float64(now - c.occupancyStart)
+		c.batchRunning = false
+	}
+}
+
+// startService applies the interference model to the request taking the
 // head of the queue. The request that resumes the LC app after a batch
 // occupancy pays the one-time re-warming cycles and the context-switch
 // latency; later requests of the busy period run on a warm core.
-func (c *core) beginService(a *colReq, preempting bool) {
-	now := c.eng.Now()
-	a.start = now
-	a.started = true
+func (c *core) startService(a *queueing.ActiveRequest, preempting bool) {
 	if preempting {
-		a.remainingCC += c.cfg.Interference.extraCycles(c.cfg.Batch, c.lcMeanCycles, c.batchOccupiedNs)
-		a.remainingMem += float64(c.cfg.Interference.PreemptLatency)
+		a.RemainingCC += c.cfg.Interference.extraCycles(c.cfg.Batch, c.lcMeanCycles, c.batchOccupiedNs)
+		a.RemainingMem += float64(c.cfg.Interference.PreemptLatency)
 	}
 }
 
-func (c *core) view() queueing.View {
-	q := make([]queueing.QueuedRequest, len(c.queue))
-	for i, a := range c.queue {
-		q[i] = queueing.QueuedRequest{Arrival: a.req.Arrival}
-	}
-	v := queueing.View{
-		Now:        c.eng.Now(),
-		CurrentMHz: c.cur,
-		TargetMHz:  c.target,
-		Queue:      q,
-	}
-	if len(c.queue) > 0 {
-		v.HeadElapsedCycles = c.queue[0].elapsedCC
-		v.HeadElapsedMemNs = sim.Time(c.queue[0].elapsedMem)
-	}
-	return v
-}
-
-func (c *core) decide() {
-	if c.cfg.LCPolicy == nil {
-		return
-	}
-	c.applyFreq(c.cfg.LCPolicy.OnEvent(c.view()))
-}
-
-func (c *core) applyFreq(fMHz int) {
-	if fMHz <= 0 {
-		return
-	}
-	if c.cfg.Grid.Index(fMHz) < 0 {
-		fMHz = c.cfg.Grid.ClampUp(float64(fMHz))
-	}
-	c.target = fMHz
-	if fMHz == c.cur {
-		return
-	}
-	if c.cfg.TransitionLatency == 0 {
-		c.cur = fMHz
-		c.rescheduleCompletion()
-		return
-	}
-	if !c.switchPending {
-		c.switchPending = true
-		c.eng.After(c.cfg.TransitionLatency, c.switchEvent)
-	}
-}
-
-func (c *core) switchEvent() {
-	c.accrue()
-	c.switchPending = false
-	if c.cur != c.target {
-		c.cur = c.target
-		c.rescheduleCompletion()
-	}
-}
-
-func (c *core) rescheduleCompletion() {
-	c.gen++
-	if len(c.queue) == 0 {
-		return
-	}
-	head := c.queue[0]
-	total := head.remainingCC*1000/float64(c.cur) + head.remainingMem
-	gen := c.gen
-	c.eng.After(sim.Time(math.Ceil(total)), func() { c.completionEvent(gen) })
-}
-
-func (c *core) arrivalEvent() {
-	c.accrue()
-	req := c.cfg.Trace.Requests[c.next]
-	c.next++
-	if c.next < len(c.cfg.Trace.Requests) {
-		c.eng.At(c.cfg.Trace.Requests[c.next].Arrival, c.arrivalEvent)
-	}
-	a := &colReq{
-		req:          req,
-		remainingCC:  req.ComputeCycles,
-		remainingMem: float64(req.MemTime),
-		qlenAtArr:    len(c.queue),
-	}
-	wasIdle := len(c.queue) == 0
-	c.queue = append(c.queue, a)
-	if wasIdle {
-		// LC preempts batch: close the batch occupancy window.
-		if c.batchRunning {
-			c.batchOccupiedNs = float64(c.eng.Now() - c.occupancyStart)
-			c.batchRunning = false
-		}
-		c.beginService(a, true)
-	}
-	c.decide()
-	if wasIdle {
-		c.rescheduleCompletion()
-	}
-}
-
-func (c *core) completionEvent(gen uint64) {
-	if gen != c.gen {
-		return
-	}
-	c.accrue()
-	head := c.queue[0]
-	now := c.eng.Now()
-	comp := queueing.Completion{
-		ID:      head.req.ID,
-		Arrival: head.req.Arrival,
-		Start:   head.start,
-		Done:    now,
-		// Report the *measured* work, as CPI-stack performance counters
-		// would: elapsedCC includes the cold-start inflation and
-		// elapsedMem the preemption stall, so Rubik's profiler sees the
-		// interference it must absorb.
-		ComputeCycles:     head.elapsedCC,
-		MemTime:           sim.Time(head.elapsedMem),
-		QueueLenAtArrival: head.qlenAtArr,
-		ResponseNs:        float64(now - head.req.Arrival),
-		ServiceNs:         float64(now - head.start),
-	}
-	c.res.Completions = append(c.res.Completions, comp)
-	c.queue = c.queue[1:]
-	if obs, ok := c.cfg.LCPolicy.(queueing.CompletionObserver); ok {
-		obs.ObserveCompletion(comp)
-	}
-	if len(c.queue) > 0 {
-		c.beginService(c.queue[0], false)
-		c.decide()
-		c.rescheduleCompletion()
-		return
-	}
-	// Queue drained: hand the core back to batch.
+// onIdle hands the core back to batch when the LC queue drains.
+func (c *core) onIdle(now sim.Time) {
 	c.batchRunning = true
 	c.occupancyStart = now
-	c.gen++ // no LC completion pending
 	if !c.cfg.ExternalFreq {
-		c.applyFreq(c.cfg.BatchMHz)
+		c.qc.ApplyFreq(c.cfg.BatchMHz)
 	}
 }
 
-func (c *core) tickEvent(t queueing.Ticker) {
-	c.accrue()
-	f := t.OnTick(c.view())
-	// Only actuate the policy's frequency while the LC app owns the core.
-	if len(c.queue) > 0 {
-		c.applyFreq(f)
-	}
-	if c.next < len(c.cfg.Trace.Requests) || len(c.queue) > 0 {
-		c.eng.After(t.TickEvery(), func() { c.tickEvent(t) })
-	}
-}
+// accrue brings the core's progress and energy accounting up to now.
+func (c *core) accrue() { c.qc.Accrue() }
+
+// applyFreq retargets the core's DVFS actuator (external allocators).
+func (c *core) applyFreq(fMHz int) { c.qc.ApplyFreq(fMHz) }
+
+// queueLen returns the LC queue population.
+func (c *core) queueLen() int { return c.qc.QueueLen() }
 
 // drained reports whether all LC requests completed.
 func (c *core) drained() bool {
-	return c.next >= len(c.cfg.Trace.Requests) && len(c.queue) == 0
+	return c.feed.Remaining() == 0 && c.qc.QueueLen() == 0
+}
+
+// result finalizes the core's accounting into a CoreResult. The LC side
+// comes from the shared core's meter (active time = LC occupancy); the
+// batch side was accrued by the idle hook.
+func (c *core) result() CoreResult {
+	qr := c.qc.Finalize()
+	return CoreResult{
+		Completions:  qr.Completions,
+		LCEnergyJ:    qr.ActiveEnergyJ,
+		BatchEnergyJ: c.batchEnergyJ,
+		BatchUnits:   c.batchUnits,
+		LCBusyNs:     float64(qr.ActiveNs),
+		BatchBusyNs:  c.batchBusyNs,
+		EndTime:      qr.EndTime,
+	}
 }
 
 // RunCore simulates a single colocated core to completion of its LC trace.
@@ -352,9 +219,7 @@ func RunCore(cfg CoreConfig) (CoreResult, error) {
 	}
 	c.start()
 	eng.Run()
-	c.accrue()
-	c.res.EndTime = eng.Now()
-	return c.res, nil
+	return c.result(), nil
 }
 
 func percentile(vals []float64, q float64) float64 {

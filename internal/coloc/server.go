@@ -236,7 +236,7 @@ func RunHWServer(cfg ServerConfig) (ServerResult, error) {
 		curves := make([]occupantCurve, len(cores))
 		floors := make([]int, len(cores))
 		for i, c := range cores {
-			if len(c.queue) > 0 {
+			if c.queueLen() > 0 {
 				curves[i] = occupantCurve{
 					computeCyclesPerUnit: meanCC,
 					memNsPerUnit:         meanMem,
@@ -269,9 +269,7 @@ func RunHWServer(cfg ServerConfig) (ServerResult, error) {
 
 	res := ServerResult{Cores: make([]CoreResult, len(cores))}
 	for i, c := range cores {
-		c.accrue()
-		c.res.EndTime = eng.Now()
-		res.Cores[i] = c.res
+		res.Cores[i] = c.result()
 	}
 	return res, nil
 }

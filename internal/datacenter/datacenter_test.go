@@ -83,6 +83,49 @@ func TestSegregatedFleet(t *testing.T) {
 	}
 }
 
+func TestSegregatedClusterSim(t *testing.T) {
+	// The cluster-backed segregated estimate must agree with the analytic
+	// per-core extrapolation to first order (same oracle frequencies, same
+	// offered load — the simulation only adds real queueing and idle-time
+	// structure) and remain load-monotonic.
+	cfg := smallConfig()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseClusterSim = true
+	mc, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := m.Segregated(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := mc.Segregated(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.LCServers != ana.LCServers || sim.BatchPowerW != ana.BatchPowerW {
+		t.Fatalf("cluster sim changed non-LC fields: %+v vs %+v", sim, ana)
+	}
+	if sim.LCPowerW <= 0 {
+		t.Fatalf("cluster-simulated LC power %v", sim.LCPowerW)
+	}
+	if ratio := sim.LCPowerW / ana.LCPowerW; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("cluster-simulated LC power %.0f W vs analytic %.0f W (ratio %.2f)",
+			sim.LCPowerW, ana.LCPowerW, ratio)
+	}
+	sim10, err := mc.Segregated(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim10.LCPowerW >= sim.LCPowerW {
+		t.Errorf("cluster-simulated LC power did not fall with load: %v vs %v",
+			sim10.LCPowerW, sim.LCPowerW)
+	}
+}
+
 func TestColocatedBeatsSegregated(t *testing.T) {
 	// The paper's headline (Fig. 16): the colocated datacenter uses less
 	// power and fewer servers at matched batch throughput, with the gap

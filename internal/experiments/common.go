@@ -28,6 +28,11 @@ type Options struct {
 	Quick bool
 	// Seed makes every experiment deterministic.
 	Seed int64
+	// Workers is the simulation fan-out: drivers shard their independent
+	// (app, load, seed, scheme) cells across this many goroutines via
+	// RunParallel. 0 means GOMAXPROCS; 1 runs sequentially. Results are
+	// identical at any width.
+	Workers int
 }
 
 // DefaultOptions runs at full paper fidelity with a fixed seed.

@@ -18,7 +18,7 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"pmv", "fig15", "fig16",
-		"ablation", "pegasus",
+		"ablation", "pegasus", "clusterscale",
 	}
 	reg := Registry()
 	have := map[string]bool{}
@@ -564,6 +564,76 @@ func TestPegasusComparison(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+func TestClusterScale(t *testing.T) {
+	r, err := ClusterScale(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*4*1 {
+		t.Fatalf("rows = %d, want 8 (2 core counts x 4 dispatchers x 1 quick load)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Per-core Rubik controllers hold the single-core bound on every
+		// dispatcher at 50% per-core load (small slack for quick traces).
+		if row.TailMs > row.BoundMs*1.15 {
+			t.Errorf("%d cores/%s: tail %.3f ms above bound %.3f ms",
+				row.Cores, row.Dispatcher, row.TailMs, row.BoundMs)
+		}
+		if row.MaxShare <= 0 || row.MaxShare > 1 {
+			t.Errorf("%d cores/%s: bad max share %.2f", row.Cores, row.Dispatcher, row.MaxShare)
+		}
+		if row.BusyCores <= 0 || row.BusyCores > float64(row.Cores) {
+			t.Errorf("%d cores/%s: busy cores %.2f out of range", row.Cores, row.Dispatcher, row.BusyCores)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "clusterscale") {
+		t.Error("render missing title")
+	}
+}
+
+// TestRunParallelMatchesSequential is the acceptance check for the worker
+// pool: sharding an experiment's cells across goroutines must not change
+// its result. Compare full renderings byte-for-byte at workers=1 and
+// workers=4.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, id := range []string{"fig6", "fig9", "clusterscale"} {
+		seq := quickOpts()
+		seq.Workers = 1
+		par := quickOpts()
+		par.Workers = 4
+		var bufSeq, bufPar bytes.Buffer
+		if err := RunAndRender(id, seq, &bufSeq); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunAndRender(id, par, &bufPar); err != nil {
+			t.Fatal(err)
+		}
+		if bufSeq.String() != bufPar.String() {
+			t.Errorf("%s: parallel rendering differs from sequential", id)
+		}
+	}
+}
+
+func TestRunParallelErrors(t *testing.T) {
+	boom := func() error { return errTest("boom") }
+	ok := func() error { return nil }
+	if err := RunParallel(3, ok, boom, ok, boom); err == nil {
+		t.Fatal("error must propagate")
+	}
+	if err := RunParallel(0, ok, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunParallel(8); err != nil {
+		t.Fatal("no jobs must succeed")
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
 
 func TestRunAndRender(t *testing.T) {
 	var buf bytes.Buffer

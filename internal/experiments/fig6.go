@@ -31,36 +31,60 @@ func Fig6(opts Options) (*Fig6Result, error) {
 		Rubik:      map[string][]float64{},
 	}
 	apps := workload.Apps()
-	for _, app := range apps {
+	bounds := make([]float64, len(apps))
+	for i, app := range apps {
 		out.Apps = append(out.Apps, app.Name)
-		bound, err := h.bound(app)
+		b, err := h.bound(app)
 		if err != nil {
 			return nil, err
 		}
-		for _, load := range out.Loads {
-			tr := h.trace(app, load)
-			fixed, err := policy.Replay(tr, policy.UniformAssignment(len(tr.Requests), cpu.NominalMHz), h.rcfg)
-			if err != nil {
-				return nil, err
-			}
-			so, err := policy.StaticOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
-			if err != nil {
-				return nil, err
-			}
-			ad, err := policy.AdrenalineOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
-			if err != nil {
-				return nil, err
-			}
-			rb, err := h.runRubik(tr, bound, true)
-			if err != nil {
-				return nil, err
-			}
-			out.Static[app.Name] = append(out.Static[app.Name],
-				1-so.Result.ActiveEnergyJ/fixed.ActiveEnergyJ)
-			out.Adrenaline[app.Name] = append(out.Adrenaline[app.Name],
-				1-ad.Result.ActiveEnergyJ/fixed.ActiveEnergyJ)
-			out.Rubik[app.Name] = append(out.Rubik[app.Name],
-				1-rb.ActiveEnergyJ/fixed.ActiveEnergyJ)
+		bounds[i] = b
+	}
+	// The (app, load) cells are independent; shard them across
+	// Options.Workers goroutines into preallocated slots.
+	static := make([]float64, len(apps)*len(out.Loads))
+	adren := make([]float64, len(apps)*len(out.Loads))
+	rubikSav := make([]float64, len(apps)*len(out.Loads))
+	var jobs []func() error
+	for ai, app := range apps {
+		for li, load := range out.Loads {
+			ai, li, app, load := ai, li, app, load
+			jobs = append(jobs, func() error {
+				bound := bounds[ai]
+				tr := h.trace(app, load)
+				fixed, err := policy.Replay(tr, policy.UniformAssignment(len(tr.Requests), cpu.NominalMHz), h.rcfg)
+				if err != nil {
+					return err
+				}
+				so, err := policy.StaticOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+				if err != nil {
+					return err
+				}
+				ad, err := policy.AdrenalineOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+				if err != nil {
+					return err
+				}
+				rb, err := h.runRubik(tr, bound, true)
+				if err != nil {
+					return err
+				}
+				slot := ai*len(out.Loads) + li
+				static[slot] = 1 - so.Result.ActiveEnergyJ/fixed.ActiveEnergyJ
+				adren[slot] = 1 - ad.Result.ActiveEnergyJ/fixed.ActiveEnergyJ
+				rubikSav[slot] = 1 - rb.ActiveEnergyJ/fixed.ActiveEnergyJ
+				return nil
+			})
+		}
+	}
+	if err := RunParallel(opts.Workers, jobs...); err != nil {
+		return nil, err
+	}
+	for ai, app := range apps {
+		for li := range out.Loads {
+			slot := ai*len(out.Loads) + li
+			out.Static[app.Name] = append(out.Static[app.Name], static[slot])
+			out.Adrenaline[app.Name] = append(out.Adrenaline[app.Name], adren[slot])
+			out.Rubik[app.Name] = append(out.Rubik[app.Name], rubikSav[slot])
 		}
 	}
 	// Cross-app mean.

@@ -30,63 +30,80 @@ type Fig9Result struct {
 	Rows []Fig9Row
 }
 
-// Fig9 sweeps loads for every app.
+// Fig9 sweeps loads for every app. The (app, load) cells are independent
+// simulations, so they are sharded across Options.Workers goroutines; the
+// per-app bounds are derived sequentially first because the harness
+// caches them.
 func Fig9(opts Options) (*Fig9Result, error) {
 	h := newHarness(opts)
 	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	if opts.Quick {
 		loads = []float64{0.2, 0.4, 0.6}
 	}
-	out := &Fig9Result{}
-	for _, app := range workload.Apps() {
-		bound, err := h.bound(app)
+	apps := workload.Apps()
+	bounds := make([]float64, len(apps))
+	for i, app := range apps {
+		b, err := h.bound(app)
 		if err != nil {
 			return nil, err
 		}
-		for _, load := range loads {
-			tr := h.trace(app, load)
-			row := Fig9Row{App: app.Name, Load: load, BoundMs: ms(bound)}
+		bounds[i] = b
+	}
+	rows := make([]Fig9Row, len(apps)*len(loads))
+	var jobs []func() error
+	for ai, app := range apps {
+		for li, load := range loads {
+			ai, li, app, load := ai, li, app, load
+			jobs = append(jobs, func() error {
+				bound := bounds[ai]
+				tr := h.trace(app, load)
+				row := Fig9Row{App: app.Name, Load: load, BoundMs: ms(bound)}
 
-			fixed, err := policy.Replay(tr, policy.UniformAssignment(len(tr.Requests), cpu.NominalMHz), h.rcfg)
-			if err != nil {
-				return nil, err
-			}
-			row.FixedTailMs = ms(fixed.TailNs(TailPercentile))
-			row.FixedMJ = fixed.EnergyPerRequestJ() * 1e3
+				fixed, err := policy.Replay(tr, policy.UniformAssignment(len(tr.Requests), cpu.NominalMHz), h.rcfg)
+				if err != nil {
+					return err
+				}
+				row.FixedTailMs = ms(fixed.TailNs(TailPercentile))
+				row.FixedMJ = fixed.EnergyPerRequestJ() * 1e3
 
-			so, err := policy.StaticOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
-			if err != nil {
-				return nil, err
-			}
-			row.StaticTailMs = ms(so.Result.TailNs(TailPercentile))
-			row.StaticMJ = so.Result.EnergyPerRequestJ() * 1e3
-			row.Feasible = so.Feasible
+				so, err := policy.StaticOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+				if err != nil {
+					return err
+				}
+				row.StaticTailMs = ms(so.Result.TailNs(TailPercentile))
+				row.StaticMJ = so.Result.EnergyPerRequestJ() * 1e3
+				row.Feasible = so.Feasible
 
-			dyn, err := policy.DynamicOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
-			if err != nil {
-				return nil, err
-			}
-			row.DynamicTailMs = ms(dyn.Result.TailNs(TailPercentile))
-			row.DynamicMJ = dyn.Result.EnergyPerRequestJ() * 1e3
+				dyn, err := policy.DynamicOracle(tr, h.grid, bound, TailPercentile, h.rcfg)
+				if err != nil {
+					return err
+				}
+				row.DynamicTailMs = ms(dyn.Result.TailNs(TailPercentile))
+				row.DynamicMJ = dyn.Result.EnergyPerRequestJ() * 1e3
 
-			nofb, err := h.runRubik(tr, bound, false)
-			if err != nil {
-				return nil, err
-			}
-			row.RubikNoFBTailMs = ms(nofb.TailNs(TailPercentile, Warmup))
-			row.RubikNoFBMJ = nofb.EnergyPerRequestJ() * 1e3
+				nofb, err := h.runRubik(tr, bound, false)
+				if err != nil {
+					return err
+				}
+				row.RubikNoFBTailMs = ms(nofb.TailNs(TailPercentile, Warmup))
+				row.RubikNoFBMJ = nofb.EnergyPerRequestJ() * 1e3
 
-			rb, err := h.runRubik(tr, bound, true)
-			if err != nil {
-				return nil, err
-			}
-			row.RubikTailMs = ms(rb.TailNs(TailPercentile, Warmup))
-			row.RubikMJ = rb.EnergyPerRequestJ() * 1e3
+				rb, err := h.runRubik(tr, bound, true)
+				if err != nil {
+					return err
+				}
+				row.RubikTailMs = ms(rb.TailNs(TailPercentile, Warmup))
+				row.RubikMJ = rb.EnergyPerRequestJ() * 1e3
 
-			out.Rows = append(out.Rows, row)
+				rows[ai*len(loads)+li] = row
+				return nil
+			})
 		}
 	}
-	return out, nil
+	if err := RunParallel(opts.Workers, jobs...); err != nil {
+		return nil, err
+	}
+	return &Fig9Result{Rows: rows}, nil
 }
 
 // Render prints both panels as one table per app.

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunParallel executes independent jobs on a worker pool of the given
+// width (workers <= 0 means GOMAXPROCS; workers == 1 is the sequential
+// runner). Jobs must be independent — each writes only its own
+// caller-owned result slot — so the pool changes wall-clock order but
+// never results: RunParallel(1, jobs...) and RunParallel(n, jobs...) fill
+// identical slots. The returned error is the lowest-indexed job's error,
+// independent of scheduling, so error reporting is deterministic too.
+//
+// Experiment drivers shard their (app, load, seed, scheme) cells through
+// this pool; every simulation stays single-threaded internally, the
+// fan-out is purely across cells.
+func RunParallel(workers int, jobs ...func() error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, job := range jobs {
+			errs[i] = job()
+		}
+		return firstError(errs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

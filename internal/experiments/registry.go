@@ -64,6 +64,8 @@ func Registry() []Entry {
 			func(o Options) (Renderer, error) { return Fig16(o) }},
 		{"ablation", "EXTENSION: Rubik design choices removed one at a time",
 			func(o Options) (Renderer, error) { return Ablation(o) }},
+		{"clusterscale", "EXTENSION: multi-core cluster, cores x dispatcher x load sweep",
+			func(o Options) (Renderer, error) { return ClusterScale(o) }},
 		{"pegasus", "EXTENSION: Pegasus-style feedback vs StaticOracle vs Rubik",
 			func(o Options) (Renderer, error) { return PegasusComparison(o) }},
 	}

@@ -27,11 +27,11 @@ type reduceCand struct {
 
 type candHeap []reduceCand
 
-func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].saving > h[j].saving }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(reduceCand)) }
-func (h *candHeap) Pop() interface{} {
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return h[i].saving > h[j].saving }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(reduceCand)) }
+func (h *candHeap) Pop() any {
 	old := *h
 	n := len(old)
 	c := old[n-1]

@@ -1,0 +1,430 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"rubik/internal/cpu"
+	"rubik/internal/sim"
+	"rubik/internal/workload"
+)
+
+// ActiveRequest is one request inside a Core: the immutable trace request
+// plus its remaining/elapsed work split. Hooks may inflate the remaining
+// work when service begins (wake penalties, colocation interference); the
+// elapsed counters then report the inflated work, exactly as CPI-stack
+// performance counters would.
+type ActiveRequest struct {
+	Req workload.Request
+	// RemainingCC / RemainingMem are compute cycles and memory-bound ns
+	// left to serve.
+	RemainingCC  float64
+	RemainingMem float64
+	// ElapsedCC / ElapsedMem are the work already performed.
+	ElapsedCC  float64
+	ElapsedMem float64
+	// Start is when the request reached the head of the queue.
+	Start sim.Time
+	// QlenAtArrival is the system population the request found on arrival.
+	QlenAtArrival int
+}
+
+// Hooks customize a Core at its extension points. Every field is optional;
+// the zero Hooks value reproduces the standalone latency-critical server
+// (idle time is slept, the first request of a busy period pays the wake
+// penalty). The coloc package fills the hooks to run batch work in the
+// idle gaps and charge core-state interference.
+type Hooks struct {
+	// StartService fires when a request reaches the head of the queue,
+	// after Start is stamped. preempting is true when the request begins a
+	// busy period (the core was idle or occupied by other work). When nil,
+	// the default adds Config.WakeLatency to the first request of each
+	// busy period.
+	StartService func(a *ActiveRequest, preempting bool)
+	// Busy fires when a busy period begins, before StartService.
+	Busy func(now sim.Time)
+	// Idle fires when the queue drains. When set, it replaces the default
+	// empty-queue policy decision after the draining completion.
+	Idle func(now sim.Time)
+	// IdleAccrual, when set, replaces idle-energy metering for spans where
+	// the queue is empty (coloc: batch work runs in the gaps and pays its
+	// own energy).
+	IdleAccrual func(dtNs float64, curMHz int)
+	// GateTick, when set and returning false, suppresses actuating the
+	// policy's periodic tick decision (coloc: the LC policy only owns the
+	// frequency while LC work is queued).
+	GateTick func() bool
+}
+
+// Core is the single-core run loop every simulated server in the repo is
+// built on: a FIFO queue served by a DVFS-capable core on a shared
+// discrete-event engine. The standalone Run, the coloc colocated core and
+// the cluster package all consume it; arrivals are pushed in via Enqueue
+// (by a trace feeder or a cluster dispatcher) at the engine's current
+// time.
+type Core struct {
+	eng    *sim.Engine
+	cfg    Config
+	policy Policy
+	hooks  Hooks
+
+	queue []*ActiveRequest
+	meter *cpu.EnergyMeter
+
+	cur           int
+	target        int
+	switchPending bool
+	lastAccrual   sim.Time
+	completionGen uint64
+
+	completions []Completion
+
+	freqTimeline   []FreqSample
+	energyTimeline []EnergySample
+}
+
+// NewCore validates the config and prepares a core on the engine. policy
+// may be nil when an external allocator owns the frequency (coloc HW-T /
+// HW-TPW); such a core never decides, it only serves.
+func NewCore(eng *sim.Engine, p Policy, cfg Config) (*Core, error) {
+	if cfg.Grid.Len() == 0 {
+		return nil, fmt.Errorf("queueing: config has empty grid")
+	}
+	if cfg.InitialMHz == 0 {
+		cfg.InitialMHz = cpu.NominalMHz
+	}
+	if cfg.Grid.Index(cfg.InitialMHz) < 0 {
+		return nil, fmt.Errorf("queueing: initial frequency %d not on grid", cfg.InitialMHz)
+	}
+	c := &Core{
+		eng:    eng,
+		cfg:    cfg,
+		policy: p,
+		meter:  cpu.NewEnergyMeter(cfg.Grid, cfg.Power),
+		cur:    cfg.InitialMHz,
+		target: cfg.InitialMHz,
+	}
+	if cfg.RecordTimeline {
+		c.freqTimeline = append(c.freqTimeline, FreqSample{T: 0, MHz: c.cur})
+	}
+	return c, nil
+}
+
+// SetHooks installs the customization hooks. Call before the first event.
+func (c *Core) SetHooks(h Hooks) { c.hooks = h }
+
+// StartTicks schedules the policy's periodic tick, if it is a Ticker.
+// moreArrivals reports whether the core's feeder still has requests to
+// deliver; ticking stops once it is false and the queue has drained, so
+// the simulation terminates.
+func (c *Core) StartTicks(moreArrivals func() bool) {
+	t, ok := c.policy.(Ticker)
+	if !ok || t.TickEvery() <= 0 {
+		return
+	}
+	c.eng.After(t.TickEvery(), func() { c.tickEvent(t, moreArrivals) })
+}
+
+// Enqueue delivers a request to the core at the engine's current time.
+func (c *Core) Enqueue(req workload.Request) {
+	c.Accrue()
+	a := &ActiveRequest{
+		Req:           req,
+		RemainingCC:   req.ComputeCycles,
+		RemainingMem:  float64(req.MemTime),
+		QlenAtArrival: len(c.queue),
+	}
+	wasIdle := len(c.queue) == 0
+	c.queue = append(c.queue, a)
+	if wasIdle {
+		if c.hooks.Busy != nil {
+			c.hooks.Busy(c.eng.Now())
+		}
+		c.startService(a, true)
+	}
+	c.decide()
+	if wasIdle {
+		c.rescheduleCompletion()
+	}
+}
+
+// startService stamps the head request's service start and applies the
+// service-begin hook (wake penalty / interference inflation).
+func (c *Core) startService(a *ActiveRequest, preempting bool) {
+	a.Start = c.eng.Now()
+	if c.hooks.StartService != nil {
+		c.hooks.StartService(a, preempting)
+		return
+	}
+	if preempting {
+		// Sleep exit: the first request of a busy period pays the wake
+		// penalty as additional non-scalable time.
+		a.RemainingMem += float64(c.cfg.WakeLatency)
+	}
+}
+
+// Accrue charges energy and advances the head request's progress from the
+// last accrual point to now. Frequency is constant over that span because
+// every frequency change is itself an event that accrues first. Exported
+// so epoch-driven allocators (coloc HW schemes) and dispatchers that need
+// fresh queue state can bring the core up to date mid-run.
+func (c *Core) Accrue() {
+	now := c.eng.Now()
+	dt := now - c.lastAccrual
+	c.lastAccrual = now
+	if dt <= 0 {
+		return
+	}
+	if len(c.queue) == 0 {
+		if c.hooks.IdleAccrual != nil {
+			c.hooks.IdleAccrual(float64(dt), c.cur)
+		} else {
+			c.meter.AccrueIdle(dt)
+		}
+		return
+	}
+	c.meter.AccrueActive(dt, c.cur)
+	if c.cfg.RecordTimeline {
+		j := c.meter.Model.ActivePower(c.cur) * float64(dt) / 1e9
+		c.energyTimeline = append(c.energyTimeline, EnergySample{T: now, J: j})
+	}
+	head := c.queue[0]
+	total := head.RemainingCC*1000/float64(c.cur) + head.RemainingMem
+	if total <= 0 {
+		return
+	}
+	alpha := float64(dt) / total
+	if alpha > 1 {
+		alpha = 1
+	}
+	dCC := head.RemainingCC * alpha
+	dMem := head.RemainingMem * alpha
+	head.RemainingCC -= dCC
+	head.RemainingMem -= dMem
+	head.ElapsedCC += dCC
+	head.ElapsedMem += dMem
+}
+
+// View assembles the policy-visible snapshot of the core.
+func (c *Core) View() View {
+	q := make([]QueuedRequest, len(c.queue))
+	for i, a := range c.queue {
+		q[i] = QueuedRequest{Arrival: a.Req.Arrival}
+	}
+	v := View{
+		Now:        c.eng.Now(),
+		CurrentMHz: c.cur,
+		TargetMHz:  c.target,
+		Queue:      q,
+	}
+	if len(c.queue) > 0 {
+		v.HeadElapsedCycles = c.queue[0].ElapsedCC
+		v.HeadElapsedMemNs = sim.Time(c.queue[0].ElapsedMem)
+	}
+	return v
+}
+
+// decide asks the policy for a frequency and applies it.
+func (c *Core) decide() {
+	if c.policy == nil {
+		return
+	}
+	c.ApplyFreq(c.policy.OnEvent(c.View()))
+}
+
+// ApplyFreq retargets the DVFS actuator. A transition takes
+// TransitionLatency; while one is in flight, new decisions update the
+// target and the in-flight transition applies the latest target when it
+// completes (actuation lag; the core keeps running at the old frequency
+// until then, which is how the paper models V/F switches). Exported for
+// external allocators.
+func (c *Core) ApplyFreq(fMHz int) {
+	if fMHz <= 0 {
+		return
+	}
+	if c.cfg.Grid.Index(fMHz) < 0 {
+		fMHz = c.cfg.Grid.ClampUp(float64(fMHz))
+	}
+	c.target = fMHz
+	if fMHz == c.cur {
+		return
+	}
+	if c.cfg.TransitionLatency == 0 {
+		c.cur = fMHz
+		c.recordFreq()
+		c.rescheduleCompletion()
+		return
+	}
+	if !c.switchPending {
+		c.switchPending = true
+		c.eng.After(c.cfg.TransitionLatency, c.switchEvent)
+	}
+}
+
+func (c *Core) switchEvent() {
+	c.Accrue()
+	c.switchPending = false
+	if c.cur != c.target {
+		c.cur = c.target
+		c.recordFreq()
+		c.rescheduleCompletion()
+	}
+}
+
+func (c *Core) recordFreq() {
+	if c.cfg.RecordTimeline {
+		c.freqTimeline = append(c.freqTimeline, FreqSample{T: c.eng.Now(), MHz: c.cur})
+	}
+}
+
+// rescheduleCompletion re-projects the head's completion time at the
+// current frequency. Stale completion events are invalidated by the
+// generation counter.
+func (c *Core) rescheduleCompletion() {
+	c.completionGen++
+	if len(c.queue) == 0 {
+		return
+	}
+	head := c.queue[0]
+	total := head.RemainingCC*1000/float64(c.cur) + head.RemainingMem
+	dur := sim.Time(math.Ceil(total))
+	gen := c.completionGen
+	c.eng.After(dur, func() { c.completionEvent(gen) })
+}
+
+func (c *Core) completionEvent(gen uint64) {
+	if gen != c.completionGen {
+		return // superseded by a frequency change
+	}
+	c.Accrue()
+	head := c.queue[0]
+	head.RemainingCC = 0
+	head.RemainingMem = 0
+	now := c.eng.Now()
+	comp := Completion{
+		ID:      head.Req.ID,
+		Arrival: head.Req.Arrival,
+		Start:   head.Start,
+		Done:    now,
+		// Measured work, as CPI-stack performance counters would report
+		// it: elapsed memory time includes the wake penalty the request
+		// actually paid, so profiling policies model it.
+		ComputeCycles:     head.ElapsedCC,
+		MemTime:           sim.Time(head.ElapsedMem),
+		QueueLenAtArrival: head.QlenAtArrival,
+		ResponseNs:        float64(now - head.Req.Arrival),
+		ServiceNs:         float64(now - head.Start),
+	}
+	c.completions = append(c.completions, comp)
+	c.queue = c.queue[1:]
+	if obs, ok := c.policy.(CompletionObserver); ok {
+		obs.ObserveCompletion(comp)
+	}
+	if len(c.queue) > 0 {
+		c.startService(c.queue[0], false)
+		c.decide()
+		c.rescheduleCompletion()
+		return
+	}
+	if c.hooks.Idle != nil {
+		c.completionGen++ // no completion pending
+		c.hooks.Idle(now)
+		return
+	}
+	c.decide()
+	c.rescheduleCompletion()
+}
+
+func (c *Core) tickEvent(t Ticker, moreArrivals func() bool) {
+	c.Accrue()
+	f := t.OnTick(c.View())
+	if c.hooks.GateTick == nil || c.hooks.GateTick() {
+		c.ApplyFreq(f)
+	}
+	// Keep ticking only while there is work left to do; otherwise the
+	// simulation would never drain.
+	if (moreArrivals != nil && moreArrivals()) || len(c.queue) > 0 {
+		c.eng.After(t.TickEvery(), func() { c.tickEvent(t, moreArrivals) })
+	}
+}
+
+// QueueLen returns the number of requests in the system (head in service).
+func (c *Core) QueueLen() int { return len(c.queue) }
+
+// PendingWorkNs estimates the time to drain the queue at the current
+// frequency: the remaining work of every queued request. Dispatchers use
+// it for least-work routing. Call Accrue first for an up-to-date value.
+func (c *Core) PendingWorkNs() sim.Time {
+	var total float64
+	for _, a := range c.queue {
+		total += a.RemainingCC*1000/float64(c.cur) + a.RemainingMem
+	}
+	return sim.Time(total)
+}
+
+// CurrentMHz returns the frequency the core is executing at.
+func (c *Core) CurrentMHz() int { return c.cur }
+
+// Completions returns the completions recorded so far.
+func (c *Core) Completions() []Completion { return c.completions }
+
+// Meter exposes the core's energy meter (read-only use).
+func (c *Core) Meter() *cpu.EnergyMeter { return c.meter }
+
+// Finalize accrues any trailing span and assembles the core's Result.
+// EndTime is the engine's current time.
+func (c *Core) Finalize() Result {
+	c.Accrue()
+	name := ""
+	if c.policy != nil {
+		name = c.policy.Name()
+	}
+	return Result{
+		Policy:         name,
+		Completions:    c.completions,
+		ActiveEnergyJ:  c.meter.ActiveEnergyJ(),
+		IdleEnergyJ:    c.meter.IdleEnergyJ(),
+		ActiveNs:       c.meter.ActiveNs(),
+		IdleNs:         c.meter.IdleNs(),
+		Residency:      c.meter.Residency(),
+		EndTime:        c.eng.Now(),
+		FreqTimeline:   c.freqTimeline,
+		EnergyTimeline: c.energyTimeline,
+	}
+}
+
+// Feeder replays a trace into a core: each arrival event schedules the
+// next one and enqueues the request, so the event heap holds at most one
+// pending arrival per feeder (the same chaining the original server used).
+type Feeder struct {
+	eng  *sim.Engine
+	reqs []workload.Request
+	next int
+	// deliver routes the arriving request (single core: Enqueue on the one
+	// core; cluster: dispatch).
+	deliver func(req workload.Request)
+}
+
+// NewFeeder prepares a feeder; Start schedules the first arrival.
+func NewFeeder(eng *sim.Engine, reqs []workload.Request, deliver func(req workload.Request)) *Feeder {
+	return &Feeder{eng: eng, reqs: reqs, deliver: deliver}
+}
+
+// Start schedules the first arrival, if any.
+func (f *Feeder) Start() {
+	if len(f.reqs) > 0 {
+		f.eng.At(f.reqs[0].Arrival, f.event)
+	}
+}
+
+// Remaining reports how many requests have not yet arrived.
+func (f *Feeder) Remaining() int { return len(f.reqs) - f.next }
+
+func (f *Feeder) event() {
+	req := f.reqs[f.next]
+	f.next++
+	if f.next < len(f.reqs) {
+		f.eng.At(f.reqs[f.next].Arrival, f.event)
+	}
+	f.deliver(req)
+}

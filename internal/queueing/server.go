@@ -1,9 +1,6 @@
 package queueing
 
 import (
-	"fmt"
-	"math"
-
 	"rubik/internal/cpu"
 	"rubik/internal/sim"
 	"rubik/internal/workload"
@@ -96,271 +93,19 @@ type Result struct {
 	EnergyTimeline []EnergySample
 }
 
-type activeReq struct {
-	req          workload.Request
-	remainingCC  float64 // compute cycles left
-	remainingMem float64 // memory-bound ns left
-	elapsedCC    float64
-	elapsedMem   float64
-	start        sim.Time
-	qlenAtArr    int
-}
-
-type server struct {
-	eng    *sim.Engine
-	cfg    Config
-	policy Policy
-
-	trace       []workload.Request
-	nextArrival int
-
-	queue []*activeReq
-	meter *cpu.EnergyMeter
-
-	cur           int
-	target        int
-	switchPending bool
-	lastAccrual   sim.Time
-	completionGen uint64
-
-	completions []Completion
-
-	freqTimeline   []FreqSample
-	energyTimeline []EnergySample
-}
-
-// Run simulates the trace under the policy and returns the result.
+// Run simulates the trace under the policy on a dedicated single-core
+// engine and returns the result. It is a thin assembly of the shared Core:
+// a Feeder replays the trace, the policy's Ticker (if any) is scheduled,
+// and the engine drains.
 func Run(trace workload.Trace, p Policy, cfg Config) (Result, error) {
-	if cfg.Grid.Len() == 0 {
-		return Result{}, fmt.Errorf("queueing: config has empty grid")
+	eng := sim.NewEngine()
+	c, err := NewCore(eng, p, cfg)
+	if err != nil {
+		return Result{}, err
 	}
-	if cfg.InitialMHz == 0 {
-		cfg.InitialMHz = cpu.NominalMHz
-	}
-	if cfg.Grid.Index(cfg.InitialMHz) < 0 {
-		return Result{}, fmt.Errorf("queueing: initial frequency %d not on grid", cfg.InitialMHz)
-	}
-	s := &server{
-		eng:    sim.NewEngine(),
-		cfg:    cfg,
-		policy: p,
-		trace:  trace.Requests,
-		meter:  cpu.NewEnergyMeter(cfg.Grid, cfg.Power),
-		cur:    cfg.InitialMHz,
-		target: cfg.InitialMHz,
-	}
-	if cfg.RecordTimeline {
-		s.freqTimeline = append(s.freqTimeline, FreqSample{T: 0, MHz: s.cur})
-	}
-	if len(s.trace) > 0 {
-		s.eng.At(s.trace[0].Arrival, s.arrivalEvent)
-	}
-	if t, ok := p.(Ticker); ok && t.TickEvery() > 0 {
-		s.eng.After(t.TickEvery(), func() { s.tickEvent(t) })
-	}
-	s.eng.Run()
-	return Result{
-		Policy:         p.Name(),
-		Completions:    s.completions,
-		ActiveEnergyJ:  s.meter.ActiveEnergyJ(),
-		IdleEnergyJ:    s.meter.IdleEnergyJ(),
-		ActiveNs:       s.meter.ActiveNs(),
-		IdleNs:         s.meter.IdleNs(),
-		Residency:      s.meter.Residency(),
-		EndTime:        s.eng.Now(),
-		FreqTimeline:   s.freqTimeline,
-		EnergyTimeline: s.energyTimeline,
-	}, nil
-}
-
-// accrue charges energy and advances the head request's progress from the
-// last accrual point to now. Frequency is constant over that span because
-// every frequency change is itself an event that accrues first.
-func (s *server) accrue() {
-	now := s.eng.Now()
-	dt := now - s.lastAccrual
-	s.lastAccrual = now
-	if dt <= 0 {
-		return
-	}
-	if len(s.queue) == 0 {
-		s.meter.AccrueIdle(dt)
-		return
-	}
-	s.meter.AccrueActive(dt, s.cur)
-	if s.cfg.RecordTimeline {
-		j := s.meter.Model.ActivePower(s.cur) * float64(dt) / 1e9
-		s.energyTimeline = append(s.energyTimeline, EnergySample{T: now, J: j})
-	}
-	head := s.queue[0]
-	total := head.remainingCC*1000/float64(s.cur) + head.remainingMem
-	if total <= 0 {
-		return
-	}
-	alpha := float64(dt) / total
-	if alpha > 1 {
-		alpha = 1
-	}
-	dCC := head.remainingCC * alpha
-	dMem := head.remainingMem * alpha
-	head.remainingCC -= dCC
-	head.remainingMem -= dMem
-	head.elapsedCC += dCC
-	head.elapsedMem += dMem
-}
-
-func (s *server) view() View {
-	q := make([]QueuedRequest, len(s.queue))
-	for i, a := range s.queue {
-		q[i] = QueuedRequest{Arrival: a.req.Arrival}
-	}
-	v := View{
-		Now:        s.eng.Now(),
-		CurrentMHz: s.cur,
-		TargetMHz:  s.target,
-		Queue:      q,
-	}
-	if len(s.queue) > 0 {
-		v.HeadElapsedCycles = s.queue[0].elapsedCC
-		v.HeadElapsedMemNs = sim.Time(s.queue[0].elapsedMem)
-	}
-	return v
-}
-
-// decide asks the policy for a frequency and applies it.
-func (s *server) decide() {
-	f := s.policy.OnEvent(s.view())
-	s.applyFreq(f)
-}
-
-// applyFreq retargets the DVFS actuator. A transition takes
-// TransitionLatency; while one is in flight, new decisions update the
-// target and the in-flight transition applies the latest target when it
-// completes (actuation lag; the core keeps running at the old frequency
-// until then, which is how the paper models V/F switches).
-func (s *server) applyFreq(fMHz int) {
-	if fMHz <= 0 {
-		return
-	}
-	if s.cfg.Grid.Index(fMHz) < 0 {
-		fMHz = s.cfg.Grid.ClampUp(float64(fMHz))
-	}
-	s.target = fMHz
-	if fMHz == s.cur {
-		return
-	}
-	if s.cfg.TransitionLatency == 0 {
-		s.cur = fMHz
-		s.recordFreq()
-		s.rescheduleCompletion()
-		return
-	}
-	if !s.switchPending {
-		s.switchPending = true
-		s.eng.After(s.cfg.TransitionLatency, s.switchEvent)
-	}
-}
-
-func (s *server) switchEvent() {
-	s.accrue()
-	s.switchPending = false
-	if s.cur != s.target {
-		s.cur = s.target
-		s.recordFreq()
-		s.rescheduleCompletion()
-	}
-}
-
-func (s *server) recordFreq() {
-	if s.cfg.RecordTimeline {
-		s.freqTimeline = append(s.freqTimeline, FreqSample{T: s.eng.Now(), MHz: s.cur})
-	}
-}
-
-// rescheduleCompletion re-projects the head's completion time at the
-// current frequency. Stale completion events are invalidated by the
-// generation counter.
-func (s *server) rescheduleCompletion() {
-	s.completionGen++
-	if len(s.queue) == 0 {
-		return
-	}
-	head := s.queue[0]
-	total := head.remainingCC*1000/float64(s.cur) + head.remainingMem
-	dur := sim.Time(math.Ceil(total))
-	gen := s.completionGen
-	s.eng.After(dur, func() { s.completionEvent(gen) })
-}
-
-func (s *server) arrivalEvent() {
-	s.accrue()
-	req := s.trace[s.nextArrival]
-	s.nextArrival++
-	if s.nextArrival < len(s.trace) {
-		s.eng.At(s.trace[s.nextArrival].Arrival, s.arrivalEvent)
-	}
-	a := &activeReq{
-		req:          req,
-		remainingCC:  req.ComputeCycles,
-		remainingMem: float64(req.MemTime),
-		qlenAtArr:    len(s.queue),
-	}
-	wasIdle := len(s.queue) == 0
-	s.queue = append(s.queue, a)
-	if wasIdle {
-		a.start = s.eng.Now()
-		// Sleep exit: the first request of a busy period pays the wake
-		// penalty as additional non-scalable time.
-		a.remainingMem += float64(s.cfg.WakeLatency)
-	}
-	s.decide()
-	if wasIdle {
-		s.rescheduleCompletion()
-	}
-}
-
-func (s *server) completionEvent(gen uint64) {
-	if gen != s.completionGen {
-		return // superseded by a frequency change
-	}
-	s.accrue()
-	head := s.queue[0]
-	head.remainingCC = 0
-	head.remainingMem = 0
-	now := s.eng.Now()
-	c := Completion{
-		ID:      head.req.ID,
-		Arrival: head.req.Arrival,
-		Start:   head.start,
-		Done:    now,
-		// Measured work, as CPI-stack performance counters would report
-		// it: elapsed memory time includes the wake penalty the request
-		// actually paid, so profiling policies model it.
-		ComputeCycles:     head.elapsedCC,
-		MemTime:           sim.Time(head.elapsedMem),
-		QueueLenAtArrival: head.qlenAtArr,
-		ResponseNs:        float64(now - head.req.Arrival),
-		ServiceNs:         float64(now - head.start),
-	}
-	s.completions = append(s.completions, c)
-	s.queue = s.queue[1:]
-	if obs, ok := s.policy.(CompletionObserver); ok {
-		obs.ObserveCompletion(c)
-	}
-	if len(s.queue) > 0 {
-		s.queue[0].start = now
-	}
-	s.decide()
-	s.rescheduleCompletion()
-}
-
-func (s *server) tickEvent(t Ticker) {
-	s.accrue()
-	f := t.OnTick(s.view())
-	s.applyFreq(f)
-	// Keep ticking only while there is work left to do; otherwise the
-	// simulation would never drain.
-	if s.nextArrival < len(s.trace) || len(s.queue) > 0 {
-		s.eng.After(t.TickEvery(), func() { s.tickEvent(t) })
-	}
+	f := NewFeeder(eng, trace.Requests, c.Enqueue)
+	f.Start()
+	c.StartTicks(func() bool { return f.Remaining() > 0 })
+	eng.Run()
+	return c.Finalize(), nil
 }

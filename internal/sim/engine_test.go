@@ -87,6 +87,83 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+func TestEngineRunUntilBoundaryInclusive(t *testing.T) {
+	// Events at exactly t fire, and an event that an in-window event
+	// schedules AT the boundary also fires within the same RunUntil.
+	e := NewEngine()
+	var fired []string
+	e.At(10, func() {
+		fired = append(fired, "a")
+		e.At(12, func() { fired = append(fired, "chained@12") })
+	})
+	e.At(12, func() { fired = append(fired, "b@12") })
+	e.RunUntil(12)
+	want := []string{"a", "b@12", "chained@12"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	if e.Now() != 12 {
+		t.Fatalf("now = %d, want 12", e.Now())
+	}
+}
+
+func TestEngineRunUntilEqualTimestampOrder(t *testing.T) {
+	// Equal-timestamp events split across two RunUntil calls keep
+	// scheduling order: none fires early, and the second call fires them
+	// exactly as scheduled.
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(20, func() { order = append(order, i) })
+	}
+	e.RunUntil(19)
+	if len(order) != 0 {
+		t.Fatalf("events at 20 fired during RunUntil(19): %v", order)
+	}
+	if e.Now() != 19 {
+		t.Fatalf("now = %d, want 19", e.Now())
+	}
+	e.RunUntil(20)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineRunUntilPast(t *testing.T) {
+	// RunUntil with t already passed runs nothing and never rewinds.
+	e := NewEngine()
+	e.At(50, func() {})
+	e.Run()
+	e.RunUntil(10)
+	if e.Now() != 50 {
+		t.Fatalf("clock rewound to %d", e.Now())
+	}
+}
+
+func TestEngineInterleavedAtAndAfterSameTimestamp(t *testing.T) {
+	// At(now+d) and After(d) land at the same instant and fire in
+	// scheduling order — the property cluster dispatch relies on when an
+	// arrival, a DVFS switch and a completion coincide.
+	e := NewEngine()
+	var order []string
+	e.At(5, func() {
+		e.After(10, func() { order = append(order, "after") })
+		e.At(15, func() { order = append(order, "at") })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "after" || order[1] != "at" {
+		t.Fatalf("order = %v, want [after at]", order)
+	}
+}
+
 func TestEngineStepEmpty(t *testing.T) {
 	e := NewEngine()
 	if e.Step() {

@@ -12,8 +12,9 @@
 // step-load clients), the baseline schemes it is compared against
 // (Fixed-frequency, StaticOracle, AdrenalineOracle, DynamicOracle, and a
 // Pegasus-style feedback controller), the RubikColoc colocation substrate,
-// a datacenter fleet model, and one experiment driver per table/figure of
-// the paper.
+// a multi-core cluster simulator with pluggable request dispatch
+// (NewCluster, SimulateCluster), a datacenter fleet model, and one
+// experiment driver per table/figure of the paper.
 //
 // # Quick start
 //
@@ -36,6 +37,7 @@ import (
 	"fmt"
 	"io"
 
+	"rubik/internal/cluster"
 	rubikcore "rubik/internal/core"
 	"rubik/internal/cpu"
 	"rubik/internal/experiments"
@@ -76,6 +78,14 @@ type (
 	ExperimentOptions = experiments.Options
 	// Experiment describes one registered paper artifact driver.
 	Experiment = experiments.Entry
+	// ClusterConfig parameterizes a simulated multi-core server.
+	ClusterConfig = cluster.Config
+	// ClusterResult is the outcome of simulating a trace on a cluster.
+	ClusterResult = cluster.Result
+	// Dispatcher routes arriving requests to cluster cores.
+	Dispatcher = cluster.Dispatcher
+	// CoreState is the dispatcher-visible snapshot of one cluster core.
+	CoreState = cluster.CoreState
 )
 
 // NominalMHz is the nominal core frequency (2.4 GHz, paper Table 2).
@@ -138,6 +148,40 @@ func Simulate(tr Trace, p Policy) (Result, error) {
 func SimulateWithConfig(tr Trace, p Policy, cfg ServerConfig) (Result, error) {
 	return queueing.Run(tr, p, cfg)
 }
+
+// NewCluster assembles a multi-core server configuration: cores cores on
+// one shared engine, each under a fresh policy from newPolicy, with the
+// dispatcher routing arrivals. A nil dispatcher means round-robin.
+func NewCluster(cores int, d Dispatcher, newPolicy func(core int) (Policy, error)) ClusterConfig {
+	return cluster.Config{
+		Cores:      cores,
+		Dispatcher: d,
+		Core:       queueing.DefaultConfig(),
+		NewPolicy:  newPolicy,
+	}
+}
+
+// SimulateCluster runs a trace on a simulated multi-core server. The
+// trace carries the server's aggregate request stream (GenerateTrace with
+// load scaled by the core count models N cores at a per-core load).
+func SimulateCluster(tr Trace, cfg ClusterConfig) (ClusterResult, error) {
+	return cluster.Run(tr, cfg)
+}
+
+// RandomDispatcher routes requests uniformly at random, reproducibly for
+// a seed.
+func RandomDispatcher(seed int64) Dispatcher { return cluster.NewRandom(seed) }
+
+// RoundRobinDispatcher cycles through the cores in index order.
+func RoundRobinDispatcher() Dispatcher { return cluster.NewRoundRobin() }
+
+// JSQDispatcher routes to the core with the shortest queue (ties to the
+// lowest index).
+func JSQDispatcher() Dispatcher { return cluster.NewJSQ() }
+
+// LeastWorkDispatcher routes to the core with the least pending work at
+// its current frequency (ties to the lowest index).
+func LeastWorkDispatcher() Dispatcher { return cluster.NewLeastWork() }
 
 // StaticOracleMHz returns the lowest static frequency whose replay of the
 // trace meets the bound (paper Sec. 5.2), and whether any frequency does.

@@ -77,8 +77,8 @@ func TestFacadeStaticOracle(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(rubik.Experiments()) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(rubik.Experiments()))
+	if len(rubik.Experiments()) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(rubik.Experiments()))
 	}
 	var buf bytes.Buffer
 	opts := rubik.ExperimentOptions{Quick: true, Seed: 1}
@@ -112,5 +112,43 @@ func TestFacadeControllerConfig(t *testing.T) {
 	cfg := rubik.ControllerConfig{}
 	if _, err := rubik.NewControllerWithConfig(cfg); err == nil {
 		t.Fatal("zero controller config must error")
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	app, err := rubik.AppByName("masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := rubik.TailBound(app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-core server at 50% per-core load: aggregate trace, per-core Rubik.
+	tr := rubik.GenerateTrace(app, 0.5*4, 6000, 2)
+	for _, d := range []rubik.Dispatcher{
+		rubik.RandomDispatcher(7), rubik.RoundRobinDispatcher(),
+		rubik.JSQDispatcher(), rubik.LeastWorkDispatcher(),
+	} {
+		cfg := rubik.NewCluster(4, d, func(int) (rubik.Policy, error) {
+			return rubik.NewController(bound)
+		})
+		res, err := rubik.SimulateCluster(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.PerCore) != 4 {
+			t.Fatalf("%s: %d cores", d.Name(), len(res.PerCore))
+		}
+		var total int
+		for _, c := range res.PerCore {
+			total += len(c.Completions)
+		}
+		if total != 6000 {
+			t.Fatalf("%s: completions %d != 6000", d.Name(), total)
+		}
+		if tail := res.TailNs(rubik.TailPercentile, 0.1); tail > bound*1.2 {
+			t.Errorf("%s: pooled p95 %.0f ns above bound %.0f ns", d.Name(), tail, bound)
+		}
 	}
 }
