@@ -1,0 +1,236 @@
+// Command rubikbench runs the hot-path micro-benchmarks of the analytical
+// model pipeline and emits machine-readable BENCH_<name>.json files, so the
+// perf trajectory (table rebuild, convolution chain, per-event decision,
+// cluster simulation) can be tracked across commits without scraping `go
+// test -bench` text output.
+//
+// Usage:
+//
+//	rubikbench [-out dir] [-bench regexp] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"rubik"
+	rubikcore "rubik/internal/core"
+	"rubik/internal/queueing"
+	"rubik/internal/stats"
+	"rubik/internal/workload"
+)
+
+// result is the JSON schema of one BENCH_*.json file.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func profiledHistograms(n int) (*stats.Histogram, *stats.Histogram) {
+	r := rand.New(rand.NewSource(1))
+	histC := stats.NewHistogram(n)
+	histM := stats.NewHistogram(n)
+	for i := 0; i < n; i++ {
+		histC.Push(250e3 * (0.5 + r.Float64()))
+		histM.Push(20e3 * (0.5 + r.Float64()))
+	}
+	return histC, histM
+}
+
+func profiledSamples(n int) ([]float64, []float64) {
+	r := rand.New(rand.NewSource(1))
+	comp := make([]float64, n)
+	mem := make([]float64, n)
+	for i := range comp {
+		comp[i] = 250e3 * (0.5 + r.Float64())
+		mem[i] = 20e3 * (0.5 + r.Float64())
+	}
+	return comp, mem
+}
+
+func uniformPMF(n int) stats.PMF {
+	r := rand.New(rand.NewSource(6))
+	p := make([]float64, n)
+	var tot float64
+	for i := range p {
+		p[i] = r.Float64()
+		tot += p[i]
+	}
+	for i := range p {
+		p[i] /= tot
+	}
+	return stats.PMF{Origin: 0, Width: 1000, P: p}
+}
+
+// benches mirrors the micro-benchmarks of bench_test.go at paper
+// parameters (128 buckets, 8 rows, 16 positions).
+var benches = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"TailTableBuild", func(b *testing.B) {
+		histC, histM := profiledHistograms(4096)
+		tb, err := rubikcore.NewTableBuilder(0.95, 128, 8, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := tb.Rebuild(histC, histM); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tb.Rebuild(histC, histM); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"TailTableBuildOneShot", func(b *testing.B) {
+		comp, mem := profiledSamples(4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rubikcore.BuildTailTable(comp, mem, 0.95, 128, 8, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"ConvolutionFFT", func(b *testing.B) {
+		d := uniformPMF(128)
+		plan, err := stats.NewConvolutionPlan(stats.PlanSizeFor(128, 128, 16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]stats.PMF, 16)
+		if err := plan.IterConvolutionsInto(dst, d, d); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.IterConvolutionsInto(dst, d, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"HistogramPush", func(b *testing.B) {
+		r := rand.New(rand.NewSource(14))
+		histC, _ := profiledHistograms(8192)
+		vals := make([]float64, 1024)
+		for i := range vals {
+			vals[i] = 250e3 * (0.5 + r.Float64())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			histC.Push(vals[i&1023])
+		}
+	}},
+	{"RubikDecision", func(b *testing.B) {
+		ctl, err := rubik.NewController(1e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp, mem := profiledSamples(512)
+		if err := ctl.Bootstrap(comp, mem); err != nil {
+			b.Fatal(err)
+		}
+		v := queueing.View{
+			Now:        1_000_000,
+			CurrentMHz: 1600,
+			Queue: []queueing.QueuedRequest{
+				{Arrival: 100_000}, {Arrival: 400_000}, {Arrival: 900_000},
+			},
+			HeadElapsedCycles: 120e3,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f := ctl.OnEvent(v); f <= 0 {
+				b.Fatal("bad decision")
+			}
+		}
+	}},
+	{"ClusterSimulate", func(b *testing.B) {
+		tr := workload.GenerateAtLoad(workload.Masstree(), 0.5*6, 12000, 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := rubik.NewCluster(6, rubik.JSQDispatcher(), func(int) (rubik.Policy, error) {
+				return rubik.NewController(500_000)
+			})
+			if _, err := rubik.SimulateCluster(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+}
+
+func main() {
+	out := flag.String("out", ".", "directory to write BENCH_<name>.json files to")
+	pattern := flag.String("bench", ".", "regexp selecting benchmarks to run")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	re, err := regexp.Compile(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rubikbench: bad -bench pattern: %v\n", err)
+		os.Exit(1)
+	}
+	if *list {
+		for _, bm := range benches {
+			fmt.Println(bm.name)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "rubikbench: %v\n", err)
+		os.Exit(1)
+	}
+	ran := 0
+	for _, bm := range benches {
+		if !re.MatchString(bm.name) {
+			continue
+		}
+		ran++
+		r := testing.Benchmark(bm.fn)
+		// testing.Benchmark discards b.Fatal output and returns a zero
+		// result; surface that as a failure instead of emitting NaNs.
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "rubikbench: benchmark %s failed (zero iterations)\n", bm.name)
+			os.Exit(1)
+		}
+		res := result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rubikbench: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, "BENCH_"+bm.name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rubikbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op  -> %s\n",
+			bm.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, path)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rubikbench: no benchmarks match %q\n", *pattern)
+		os.Exit(1)
+	}
+}

@@ -62,26 +62,59 @@ type Result struct {
 
 // Completions pools all cores' completions ordered by completion time
 // (ties by core index), i.e. the order a shared front-end would observe.
+// Per-core slices are already sorted, so this is an O(total * log cores)
+// k-way min-heap merge keyed by (next completion time, core index) — the
+// tie-break keeps the ordering identical to the linear-scan merge it
+// replaced, which always took the lowest-indexed core among equals.
 func (r Result) Completions() []queueing.Completion {
 	var total int
 	for _, c := range r.PerCore {
 		total += len(c.Completions)
 	}
 	out := make([]queueing.Completion, 0, total)
-	// k-way merge by Done time; per-core slices are already sorted.
 	idx := make([]int, len(r.PerCore))
-	for len(out) < total {
-		best := -1
-		for i, c := range r.PerCore {
-			if idx[i] >= len(c.Completions) {
-				continue
+	// heap holds core indices; the key of core i is
+	// (PerCore[i].Completions[idx[i]].Done, i).
+	heap := make([]int, 0, len(r.PerCore))
+	less := func(a, b int) bool {
+		ca := r.PerCore[a].Completions[idx[a]]
+		cb := r.PerCore[b].Completions[idx[b]]
+		return ca.Done < cb.Done || (ca.Done == cb.Done && a < b)
+	}
+	siftDown := func(i int) {
+		for {
+			left, right := 2*i+1, 2*i+2
+			smallest := i
+			if left < len(heap) && less(heap[left], heap[smallest]) {
+				smallest = left
 			}
-			if best < 0 || c.Completions[idx[i]].Done < r.PerCore[best].Completions[idx[best]].Done {
-				best = i
+			if right < len(heap) && less(heap[right], heap[smallest]) {
+				smallest = right
 			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
 		}
-		out = append(out, r.PerCore[best].Completions[idx[best]])
-		idx[best]++
+	}
+	for i, c := range r.PerCore {
+		if len(c.Completions) > 0 {
+			heap = append(heap, i)
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(heap) > 0 {
+		core := heap[0]
+		out = append(out, r.PerCore[core].Completions[idx[core]])
+		idx[core]++
+		if idx[core] >= len(r.PerCore[core].Completions) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
 	}
 	return out
 }

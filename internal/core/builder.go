@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rubik/internal/stats"
+)
+
+// TableBuilder is the persistent, allocation-free rebuild pipeline behind
+// a controller's target tail tables. It owns everything a periodic refresh
+// needs — the FFT convolution plans (twiddles, bit-reversal, scratch), the
+// profiled-distribution buffers, the convolution result buffers, and the
+// TailTable itself, which Rebuild refills in place. A controller creates
+// one builder for its lifetime; every refresh after the first then
+// performs zero steady-state allocations, which is what keeps the paper's
+// periodic update inside its 0.2 ms budget (Sec. 4.2) once PR 1's cluster
+// layer multiplies refresh frequency by the core count.
+//
+// The rebuilt tables are bitwise-identical to BuildTailTable's: the
+// streaming profiler bins exactly like NewPMFFromSamples, the planned
+// convolutions match IterConvolutions bit for bit, and the row math is
+// unchanged. With the drift gate off, swapping the builder in changes no
+// experiment output.
+//
+// A builder owns its buffers and is NOT safe for concurrent use; each
+// controller holds its own.
+type TableBuilder struct {
+	// DriftThreshold gates the expensive part of a refresh: when both
+	// profiled distributions have moved less than this relative amount (in
+	// mean and standard deviation) since the last full rebuild, Rebuild
+	// keeps the existing tables and skips the convolutions. 0 (the
+	// default) disables the gate — every refresh rebuilds, and results are
+	// byte-identical to the ungated pipeline. Set it from
+	// core.Config.DriftThreshold; the tradeoff is staleness: a gated table
+	// reacts one threshold-crossing later to workload drift, in exchange
+	// for dropping the dominant rebuild cost at steady load.
+	DriftThreshold float64
+
+	percentile     float64
+	nbuckets       int
+	rows, maxQueue int
+
+	// plans caches one ConvolutionPlan per transform size. The size is
+	// fixed by (nbuckets, maxQueue) in steady state; degenerate profiles
+	// (all samples equal -> single-bucket PMF) briefly need a smaller one.
+	plans map[int]*stats.ConvolutionPlan
+
+	// Reused buffers, sized on first use.
+	distC, distM   stats.PMF
+	convC, convM   []stats.PMF
+	exactC, exactM []float64
+	condC, condM   []float64
+
+	table *TailTable
+
+	// Drift-gate state: moments of the profiles at the last full rebuild.
+	haveProfile                              bool
+	lastMeanC, lastStdC, lastMeanM, lastStdM float64
+	builds, skips                            int
+}
+
+// NewTableBuilder validates the table dimensions and returns a builder
+// with its TailTable and working buffers preallocated.
+func NewTableBuilder(percentile float64, nbuckets, rows, maxQueue int) (*TableBuilder, error) {
+	if percentile <= 0 || percentile >= 1 {
+		return nil, fmt.Errorf("core: percentile %v out of (0,1)", percentile)
+	}
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("core: nbuckets must be positive, got %d", nbuckets)
+	}
+	if rows < 1 || maxQueue < 1 {
+		return nil, fmt.Errorf("core: rows=%d maxQueue=%d must be positive", rows, maxQueue)
+	}
+	t := &TailTable{
+		Percentile: percentile,
+		MaxQueue:   maxQueue,
+		rowBoundsC: make([]float64, rows),
+		rowBoundsM: make([]float64, rows),
+		c:          make([][]float64, rows),
+		m:          make([][]float64, rows),
+		discC:      make([]float64, rows),
+		discM:      make([]float64, rows),
+	}
+	for r := 0; r < rows; r++ {
+		t.c[r] = make([]float64, maxQueue)
+		t.m[r] = make([]float64, maxQueue)
+	}
+	return &TableBuilder{
+		percentile: percentile,
+		nbuckets:   nbuckets,
+		rows:       rows,
+		maxQueue:   maxQueue,
+		plans:      map[int]*stats.ConvolutionPlan{},
+		convC:      make([]stats.PMF, maxQueue),
+		convM:      make([]stats.PMF, maxQueue),
+		exactC:     make([]float64, maxQueue),
+		exactM:     make([]float64, maxQueue),
+		condC:      make([]float64, nbuckets),
+		condM:      make([]float64, nbuckets),
+		table:      t,
+	}, nil
+}
+
+// Table returns the builder's table (valid after the first successful
+// Rebuild; refilled in place by later ones).
+func (b *TableBuilder) Table() *TailTable { return b.table }
+
+// Builds returns how many refreshes performed the full rebuild.
+func (b *TableBuilder) Builds() int { return b.builds }
+
+// Skips returns how many refreshes the drift gate short-circuited.
+func (b *TableBuilder) Skips() int { return b.skips }
+
+// Rebuild refreshes the table from the profilers' current windows. It
+// returns the (builder-owned) table and whether a full rebuild happened:
+// false means the drift gate found both profiles within DriftThreshold of
+// the last rebuild and kept the existing tables. On error the previous
+// table is left intact.
+func (b *TableBuilder) Rebuild(histC, histM *stats.Histogram) (*TailTable, bool, error) {
+	if err := histC.PMFInto(&b.distC, b.nbuckets); err != nil {
+		return nil, false, fmt.Errorf("core: compute distribution: %w", err)
+	}
+	if err := histM.PMFInto(&b.distM, b.nbuckets); err != nil {
+		return nil, false, fmt.Errorf("core: memory distribution: %w", err)
+	}
+	return b.finish()
+}
+
+// RebuildFromSamples refreshes the table from explicit sample slices (the
+// BuildTailTable-compatible entry point). The same drift gate applies.
+func (b *TableBuilder) RebuildFromSamples(computeSamples, memSamples []float64) (*TailTable, bool, error) {
+	if len(computeSamples) == 0 || len(memSamples) == 0 {
+		return nil, false, fmt.Errorf("core: no profiling samples")
+	}
+	distC, err := stats.NewPMFFromSamples(computeSamples, b.nbuckets)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: compute distribution: %w", err)
+	}
+	distM, err := stats.NewPMFFromSamples(memSamples, b.nbuckets)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: memory distribution: %w", err)
+	}
+	b.distC, b.distM = distC, distM
+	return b.finish()
+}
+
+// finish runs the drift gate and, when it does not fire, rebuilds the
+// table in place from b.distC/b.distM.
+func (b *TableBuilder) finish() (*TailTable, bool, error) {
+	meanC, varC := b.distC.Mean(), b.distC.Variance()
+	meanM, varM := b.distM.Mean(), b.distM.Variance()
+	stdC, stdM := math.Sqrt(varC), math.Sqrt(varM)
+	if b.DriftThreshold > 0 && b.haveProfile &&
+		relDrift(meanC, stdC, b.lastMeanC, b.lastStdC) <= b.DriftThreshold &&
+		relDrift(meanM, stdM, b.lastMeanM, b.lastStdM) <= b.DriftThreshold {
+		b.skips++
+		return b.table, false, nil
+	}
+	if err := b.table.Rebuild(b, meanC, varC, meanM, varM); err != nil {
+		return nil, false, err
+	}
+	b.lastMeanC, b.lastStdC = meanC, stdC
+	b.lastMeanM, b.lastStdM = meanM, stdM
+	b.haveProfile = true
+	b.builds++
+	return b.table, true, nil
+}
+
+// relDrift measures how far a profile moved relative to its previous
+// scale: the larger of the mean shift and the spread shift, normalized by
+// the previous distribution's dominant magnitude.
+func relDrift(mean, std, lastMean, lastStd float64) float64 {
+	scale := math.Max(math.Abs(lastMean), lastStd)
+	if scale < 1e-12 {
+		scale = 1e-12
+	}
+	dm := math.Abs(mean-lastMean) / scale
+	ds := math.Abs(std-lastStd) / scale
+	return math.Max(dm, ds)
+}
+
+// planFor returns the cached convolution plan for transform size n,
+// building it on first use.
+func (b *TableBuilder) planFor(n int) (*stats.ConvolutionPlan, error) {
+	if p, ok := b.plans[n]; ok {
+		return p, nil
+	}
+	p, err := stats.NewConvolutionPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	b.plans[n] = p
+	return p, nil
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rubik/internal/stats"
+)
+
+// referenceTailTable is the pre-builder BuildTailTable algorithm, kept
+// verbatim (naive stats entry points, fresh allocations everywhere) as the
+// oracle the allocation-free pipeline is checked against.
+func referenceTailTable(computeSamples, memSamples []float64, percentile float64, nbuckets, rows, maxQueue int) (*TailTable, error) {
+	distC, err := stats.NewPMFFromSamples(computeSamples, nbuckets)
+	if err != nil {
+		return nil, err
+	}
+	distM, err := stats.NewPMFFromSamples(memSamples, nbuckets)
+	if err != nil {
+		return nil, err
+	}
+	t := &TailTable{
+		Percentile: percentile,
+		MaxQueue:   maxQueue,
+		meanC:      distC.Mean(),
+		varC:       distC.Variance(),
+		meanM:      distM.Mean(),
+		varM:       distM.Variance(),
+	}
+	exactC := make([]float64, maxQueue)
+	exactM := make([]float64, maxQueue)
+	cs, err := stats.IterConvolutions(distC, distC, maxQueue)
+	if err != nil {
+		return nil, err
+	}
+	msum, err := stats.IterConvolutions(distM, distM, maxQueue)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < maxQueue; i++ {
+		exactC[i] = cs[i].Quantile(percentile)
+		exactM[i] = msum[i].Quantile(percentile)
+	}
+	for r := 0; r < rows; r++ {
+		q := float64(r) / float64(rows)
+		var boundC, boundM float64
+		if r > 0 {
+			boundC = distC.Quantile(q)
+			boundM = distM.Quantile(q)
+		}
+		t.rowBoundsC = append(t.rowBoundsC, boundC)
+		t.rowBoundsM = append(t.rowBoundsM, boundM)
+		condC := distC.ConditionAtLeast(boundC)
+		condM := distM.ConditionAtLeast(boundM)
+		discC := t.meanC - condC.Mean()
+		discM := t.meanM - condM.Mean()
+		if discC < 0 {
+			discC = 0
+		}
+		if discM < 0 {
+			discM = 0
+		}
+		headC := condC.Quantile(percentile)
+		headM := condM.Quantile(percentile)
+		cRow := make([]float64, maxQueue)
+		mRow := make([]float64, maxQueue)
+		for i := 0; i < maxQueue; i++ {
+			cRow[i] = maxf(exactC[i]-discC, headC)
+			mRow[i] = maxf(exactM[i]-discM, headM)
+		}
+		t.c = append(t.c, cRow)
+		t.m = append(t.m, mRow)
+		t.discC = append(t.discC, discC)
+		t.discM = append(t.discM, discM)
+	}
+	return t, nil
+}
+
+func tablesBitwiseEqual(t *testing.T, got, want *TailTable) {
+	t.Helper()
+	bits := math.Float64bits
+	if got.Percentile != want.Percentile || got.MaxQueue != want.MaxQueue {
+		t.Fatalf("header mismatch: %+v vs %+v", got, want)
+	}
+	if bits(got.meanC) != bits(want.meanC) || bits(got.varC) != bits(want.varC) ||
+		bits(got.meanM) != bits(want.meanM) || bits(got.varM) != bits(want.varM) {
+		t.Fatal("moment mismatch")
+	}
+	if len(got.c) != len(want.c) {
+		t.Fatalf("rows %d vs %d", len(got.c), len(want.c))
+	}
+	for r := range want.c {
+		if bits(got.rowBoundsC[r]) != bits(want.rowBoundsC[r]) ||
+			bits(got.rowBoundsM[r]) != bits(want.rowBoundsM[r]) ||
+			bits(got.discC[r]) != bits(want.discC[r]) ||
+			bits(got.discM[r]) != bits(want.discM[r]) {
+			t.Fatalf("row %d bounds/discounts mismatch", r)
+		}
+		for i := range want.c[r] {
+			if bits(got.c[r][i]) != bits(want.c[r][i]) || bits(got.m[r][i]) != bits(want.m[r][i]) {
+				t.Fatalf("entry (%d,%d): got (%v,%v) want (%v,%v)",
+					r, i, got.c[r][i], got.m[r][i], want.c[r][i], want.m[r][i])
+			}
+		}
+	}
+}
+
+func randomSamples(r *rand.Rand, n int) ([]float64, []float64) {
+	comp := make([]float64, n)
+	mem := make([]float64, n)
+	for i := range comp {
+		comp[i] = 250e3 * (0.5 + r.Float64())
+		mem[i] = 20e3 * (0.5 + r.Float64())
+	}
+	return comp, mem
+}
+
+// TestBuilderMatchesReferenceBitwise checks the end-to-end pipeline
+// equivalence: streaming histograms + plan-cached convolutions + in-place
+// refill must reproduce the naive allocate-everything build bit for bit,
+// across repeated reuse of the same builder.
+func TestBuilderMatchesReferenceBitwise(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nbuckets := 1 + r.Intn(130)
+		rows := 1 + r.Intn(8)
+		maxQueue := 1 + r.Intn(16)
+		percentile := 0.9 + 0.09*r.Float64()
+		capacity := 64 + r.Intn(256)
+
+		b, err := NewTableBuilder(percentile, nbuckets, rows, maxQueue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		histC := stats.NewHistogram(capacity)
+		histM := stats.NewHistogram(capacity)
+		var allC, allM []float64
+		// Several refreshes from one builder, with the window sliding.
+		for round := 0; round < 3; round++ {
+			comp, mem := randomSamples(r, 32+r.Intn(300))
+			for i := range comp {
+				histC.Push(comp[i])
+				histM.Push(mem[i])
+			}
+			allC = append(allC, comp...)
+			allM = append(allM, mem...)
+			windowC, windowM := allC, allM
+			if len(windowC) > capacity {
+				windowC = windowC[len(windowC)-capacity:]
+				windowM = windowM[len(windowM)-capacity:]
+			}
+			got, rebuilt, err := b.Rebuild(histC, histM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rebuilt {
+				t.Fatal("gate disabled but rebuild skipped")
+			}
+			want, err := referenceTailTable(windowC, windowM, percentile, nbuckets, rows, maxQueue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tablesBitwiseEqual(t, got, want)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDegenerateProfile(t *testing.T) {
+	// All-equal samples collapse to single-bucket PMFs; the builder must
+	// switch to the size-1 plan and still match the reference.
+	b, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histC, histM := stats.NewHistogram(64), stats.NewHistogram(64)
+	for i := 0; i < 50; i++ {
+		histC.Push(1e5)
+		histM.Push(2e4)
+	}
+	got, _, err := b.Rebuild(histC, histM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]float64, 50)
+	memS := make([]float64, 50)
+	for i := range samples {
+		samples[i] = 1e5
+		memS[i] = 2e4
+	}
+	want, err := referenceTailTable(samples, memS, 0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesBitwiseEqual(t, got, want)
+
+	// And a later non-degenerate refresh on the same builder recovers.
+	r := rand.New(rand.NewSource(9))
+	comp, mem := randomSamples(r, 64)
+	for i := range comp {
+		histC.Push(comp[i])
+		histM.Push(mem[i])
+	}
+	if _, _, err := b.Rebuild(histC, histM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTailTableWrapperMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	comp, mem := randomSamples(r, 512)
+	got, err := BuildTailTable(comp, mem, 0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := referenceTailTable(comp, mem, 0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesBitwiseEqual(t, got, want)
+}
+
+func TestBuilderRebuildAllocationFree(t *testing.T) {
+	b, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(8))
+	histC, histM := stats.NewHistogram(4096), stats.NewHistogram(4096)
+	comp, mem := randomSamples(r, 4096)
+	for i := range comp {
+		histC.Push(comp[i])
+		histM.Push(mem[i])
+	}
+	if _, _, err := b.Rebuild(histC, histM); err != nil { // warm buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := b.Rebuild(histC, histM); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Rebuild allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestDriftGateTransitions exercises the skip/refresh state machine: a
+// still profile is skipped, a drifted one refreshes and re-arms the gate,
+// and a zero threshold never skips.
+func TestDriftGateTransitions(t *testing.T) {
+	b, err := NewTableBuilder(0.95, 64, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.DriftThreshold = 0.05
+	histC, histM := stats.NewHistogram(2048), stats.NewHistogram(2048)
+	r := rand.New(rand.NewSource(12))
+	push := func(scale float64, n int) {
+		for i := 0; i < n; i++ {
+			histC.Push(scale * 250e3 * (0.5 + r.Float64()))
+			histM.Push(scale * 20e3 * (0.5 + r.Float64()))
+		}
+	}
+	push(1, 2048)
+	if _, rebuilt, err := b.Rebuild(histC, histM); err != nil || !rebuilt {
+		t.Fatalf("first refresh must build (rebuilt=%v err=%v)", rebuilt, err)
+	}
+
+	// A handful of new same-distribution samples: profile barely moves.
+	push(1, 64)
+	tbl, rebuilt, err := b.Rebuild(histC, histM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt {
+		t.Fatal("still profile must be skipped")
+	}
+	if tbl != b.Table() {
+		t.Fatal("skip must return the existing table")
+	}
+	if b.Skips() != 1 || b.Builds() != 1 {
+		t.Fatalf("builds=%d skips=%d", b.Builds(), b.Skips())
+	}
+
+	// Shift the workload 2x: the mean moves far beyond 5%.
+	push(2, 2048)
+	if _, rebuilt, err = b.Rebuild(histC, histM); err != nil || !rebuilt {
+		t.Fatalf("drifted profile must rebuild (rebuilt=%v err=%v)", rebuilt, err)
+	}
+	// The gate re-arms against the post-drift profile.
+	push(2, 64)
+	if _, rebuilt, err = b.Rebuild(histC, histM); err != nil || rebuilt {
+		t.Fatalf("post-drift still profile must be skipped (rebuilt=%v err=%v)", rebuilt, err)
+	}
+
+	// Threshold 0 always rebuilds, even with an unchanged window.
+	b2, err := NewTableBuilder(0.95, 64, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, rebuilt, err := b2.Rebuild(histC, histM); err != nil || !rebuilt {
+			t.Fatalf("ungated refresh %d skipped (rebuilt=%v err=%v)", i, rebuilt, err)
+		}
+	}
+	if b2.Skips() != 0 || b2.Builds() != 3 {
+		t.Fatalf("ungated builds=%d skips=%d", b2.Builds(), b2.Skips())
+	}
+}
+
+// TestRubikDriftGateCounters checks the gate end to end through the
+// controller: gated refreshes under a steady profile skip, and the
+// config knob defaults to off.
+func TestRubikDriftGateCounters(t *testing.T) {
+	cfg := DefaultConfig(1e6)
+	cfg.DriftThreshold = 0.05
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "rubik-driftgate" {
+		t.Fatalf("name %q", r.Name())
+	}
+	rng := rand.New(rand.NewSource(13))
+	comp, mem := randomSamples(rng, 512)
+	if err := r.Bootstrap(comp, mem); err != nil {
+		t.Fatal(err)
+	}
+	if r.TableBuilds() != 1 || r.TableSkips() != 0 {
+		t.Fatalf("builds=%d skips=%d", r.TableBuilds(), r.TableSkips())
+	}
+	// Unchanged profile: the periodic refresh must skip.
+	if err := r.rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if r.TableBuilds() != 1 || r.TableSkips() != 1 {
+		t.Fatalf("builds=%d skips=%d", r.TableBuilds(), r.TableSkips())
+	}
+}
+
+// TestRowForMatchesLinearScan pins the binary search to the scan it
+// replaced, including duplicate bounds from heavy-tailed profiles.
+func TestRowForMatchesLinearScan(t *testing.T) {
+	scan := func(tt *TailTable, elapsed float64) int {
+		row := 0
+		for r := 1; r < len(tt.rowBoundsC); r++ {
+			if tt.rowBoundsC[r] <= elapsed {
+				row = r
+			}
+		}
+		return row
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 64 + r.Intn(512)
+		comp := make([]float64, n)
+		mem := make([]float64, n)
+		for i := range comp {
+			// Occasional ties produce duplicate quantile bounds.
+			comp[i] = float64(1+r.Intn(6)) * 1e5
+			mem[i] = 20e3 * (0.5 + r.Float64())
+		}
+		tt, err := BuildTailTable(comp, mem, 0.95, 32, 1+r.Intn(12), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 64; trial++ {
+			elapsed := r.Float64() * 8e5
+			if got, want := tt.RowFor(elapsed), scan(tt, elapsed); got != want {
+				t.Fatalf("RowFor(%v) = %d, scan says %d (bounds %v)",
+					elapsed, got, want, tt.rowBoundsC)
+			}
+		}
+		// Exactly-on-boundary lookups too.
+		for _, bound := range tt.rowBoundsC {
+			if got, want := tt.RowFor(bound), scan(tt, bound); got != want {
+				t.Fatalf("RowFor(bound %v) = %d, scan says %d", bound, got, want)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -462,12 +462,16 @@ func TestRubikHistoryCapBoundsMemory(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		r.ObserveCompletion(queueing.Completion{ComputeCycles: float64(i + 1), MemTime: 1})
 	}
-	if len(r.compSamples) != 100 {
-		t.Fatalf("history grew to %d", len(r.compSamples))
+	if r.histC.Len() != 100 {
+		t.Fatalf("history grew to %d", r.histC.Len())
 	}
-	// Most recent samples retained.
-	if r.compSamples[99] != 1000 {
-		t.Fatalf("newest sample lost: %v", r.compSamples[99])
+	// Most recent samples retained, oldest evicted.
+	window := r.histC.Snapshot(nil)
+	if window[99] != 1000 {
+		t.Fatalf("newest sample lost: %v", window[99])
+	}
+	if window[0] != 901 {
+		t.Fatalf("window start %v, want 901", window[0])
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"rubik/internal/cpu"
 	"rubik/internal/queueing"
@@ -64,6 +65,15 @@ type Config struct {
 	// HistoryCap bounds the profiling sample window (most recent wins), so
 	// the model tracks service-time drift.
 	HistoryCap int
+	// DriftThreshold gates the periodic table rebuild: when both profiled
+	// distributions have moved less than this relative amount (in mean and
+	// standard deviation) since the last full rebuild, the refresh keeps
+	// the existing tables and skips the convolutions. 0 (the default)
+	// disables the gate, making results byte-identical to the always-
+	// rebuild pipeline; small values (e.g. 0.02) drop the dominant refresh
+	// cost at steady load at the price of reacting one threshold-crossing
+	// later to workload drift.
+	DriftThreshold float64
 	// Feedback configures the PI fine-tuning loop.
 	Feedback FeedbackConfig
 
@@ -108,11 +118,17 @@ func DefaultConfig(latencyBoundNs float64) Config {
 type Rubik struct {
 	cfg Config
 
-	// Profiling history (rolling, most recent HistoryCap samples).
-	compSamples []float64
-	memSamples  []float64
+	// Profiling history: streaming histograms over the most recent
+	// HistoryCap samples (O(1) ingest; the old sample slices cost a full
+	// window copy per completion once the window was full).
+	histC *stats.Histogram
+	histM *stats.Histogram
 
-	table *TailTable
+	// builder owns the table, the FFT plans, and every rebuild buffer for
+	// the controller's lifetime, so steady-state refreshes allocate
+	// nothing.
+	builder *TableBuilder
+	table   *TailTable
 
 	// Feedback state.
 	respWindow *stats.RollingWindow
@@ -121,6 +137,7 @@ type Rubik struct {
 
 	// Stats exposed for diagnostics.
 	tableBuilds int
+	tableSkips  int
 	decisions   int
 }
 
@@ -149,6 +166,8 @@ func New(cfg Config) (*Rubik, error) {
 	}
 	r := &Rubik{
 		cfg:        cfg,
+		histC:      stats.NewHistogram(cfg.HistoryCap),
+		histM:      stats.NewHistogram(cfg.HistoryCap),
 		internalNs: cfg.LatencyBoundNs,
 	}
 	if cfg.Feedback.Enabled {
@@ -168,6 +187,8 @@ func (r *Rubik) Name() string {
 		return "rubik-singlerow"
 	case !r.cfg.Feedback.Enabled:
 		return "rubik-nofb"
+	case r.cfg.DriftThreshold > 0:
+		return "rubik-driftgate"
 	}
 	return "rubik"
 }
@@ -180,11 +201,19 @@ func (r *Rubik) Bootstrap(computeSamples, memSamples []float64) error {
 		return fmt.Errorf("core: bootstrap sample lengths differ: %d vs %d",
 			len(computeSamples), len(memSamples))
 	}
-	r.compSamples = append(r.compSamples, computeSamples...)
-	r.memSamples = append(r.memSamples, memSamples...)
-	r.trimHistory()
+	for i := range computeSamples {
+		if bad(computeSamples[i]) || bad(memSamples[i]) {
+			return fmt.Errorf("core: bootstrap sample %d is not finite", i)
+		}
+	}
+	for i := range computeSamples {
+		r.histC.Push(computeSamples[i])
+		r.histM.Push(memSamples[i])
+	}
 	return r.rebuild()
 }
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 
 // ObserveCompletion implements queueing.CompletionObserver: it profiles the
 // request's compute cycles and memory time (the CPI-stack measurement of
@@ -198,20 +227,10 @@ func (r *Rubik) ObserveCompletion(c queueing.Completion) {
 		cc += mt * float64(cpu.NominalMHz) / 1000
 		mt = 0
 	}
-	r.compSamples = append(r.compSamples, cc)
-	r.memSamples = append(r.memSamples, mt)
-	r.trimHistory()
+	r.histC.Push(cc)
+	r.histM.Push(mt)
 	if r.respWindow != nil {
 		r.respWindow.Add(c.Done, c.ResponseNs)
-	}
-}
-
-func (r *Rubik) trimHistory() {
-	if limit := r.cfg.HistoryCap; len(r.compSamples) > limit {
-		n := copy(r.compSamples, r.compSamples[len(r.compSamples)-limit:])
-		r.compSamples = r.compSamples[:n]
-		n = copy(r.memSamples, r.memSamples[len(r.memSamples)-limit:])
-		r.memSamples = r.memSamples[:n]
 	}
 }
 
@@ -222,7 +241,7 @@ func (r *Rubik) TickEvery() sim.Time { return r.cfg.UpdatePeriod }
 // the current profile, run the feedback update, and re-evaluate the
 // frequency for the current queue state.
 func (r *Rubik) OnTick(v queueing.View) int {
-	if len(r.compSamples) >= r.cfg.MinSamples {
+	if r.histC.Len() >= r.cfg.MinSamples {
 		// Rebuild errors can only stem from degenerate sample sets; keep
 		// the previous table in that case.
 		_ = r.rebuild()
@@ -231,18 +250,33 @@ func (r *Rubik) OnTick(v queueing.View) int {
 	return r.OnEvent(v)
 }
 
+// rebuild refreshes the target tail tables through the controller's
+// persistent TableBuilder — created on first use and kept for the
+// controller's lifetime, so every refresh after the first performs zero
+// steady-state allocations.
 func (r *Rubik) rebuild() error {
-	rows := r.cfg.OmegaRows
-	if r.cfg.SingleRow {
-		rows = 1
+	if r.builder == nil {
+		rows := r.cfg.OmegaRows
+		if r.cfg.SingleRow {
+			rows = 1
+		}
+		b, err := NewTableBuilder(r.cfg.TailPercentile, r.cfg.Buckets, rows, r.cfg.MaxTableQueue)
+		if err != nil {
+			return err
+		}
+		b.DriftThreshold = r.cfg.DriftThreshold
+		r.builder = b
 	}
-	t, err := BuildTailTable(r.compSamples, r.memSamples, r.cfg.TailPercentile,
-		r.cfg.Buckets, rows, r.cfg.MaxTableQueue)
+	t, rebuilt, err := r.builder.Rebuild(r.histC, r.histM)
 	if err != nil {
 		return err
 	}
 	r.table = t
-	r.tableBuilds++
+	if rebuilt {
+		r.tableBuilds++
+	} else {
+		r.tableSkips++
+	}
 	return nil
 }
 
@@ -379,3 +413,11 @@ func (r *Rubik) InternalTargetNs() float64 { return r.internalNs }
 
 // TableBuilds returns how many times the tables were recomputed.
 func (r *Rubik) TableBuilds() int { return r.tableBuilds }
+
+// TableSkips returns how many periodic refreshes the drift gate
+// short-circuited (always 0 with Config.DriftThreshold == 0).
+func (r *Rubik) TableSkips() int { return r.tableSkips }
+
+// SampleCount returns the number of profiled requests currently in the
+// rolling window.
+func (r *Rubik) SampleCount() int { return r.histC.Len() }

@@ -69,50 +69,56 @@ type TailTable struct {
 // (paper: 16). It is the periodic "update the service cycle and time
 // distributions, perform the convolutions, and fill in the c_i and m_i
 // values" step of paper Sec. 4.2.
+//
+// It is now a thin one-shot wrapper over TableBuilder; controllers that
+// refresh periodically hold a builder for their lifetime instead, which
+// makes every refresh after the first allocation-free.
 func BuildTailTable(computeSamples, memSamples []float64, percentile float64, nbuckets, rows, maxQueue int) (*TailTable, error) {
 	if len(computeSamples) == 0 || len(memSamples) == 0 {
 		return nil, fmt.Errorf("core: no profiling samples")
 	}
-	if percentile <= 0 || percentile >= 1 {
-		return nil, fmt.Errorf("core: percentile %v out of (0,1)", percentile)
-	}
-	if rows < 1 || maxQueue < 1 {
-		return nil, fmt.Errorf("core: rows=%d maxQueue=%d must be positive", rows, maxQueue)
-	}
-	distC, err := stats.NewPMFFromSamples(computeSamples, nbuckets)
+	b, err := NewTableBuilder(percentile, nbuckets, rows, maxQueue)
 	if err != nil {
-		return nil, fmt.Errorf("core: compute distribution: %w", err)
+		return nil, err
 	}
-	distM, err := stats.NewPMFFromSamples(memSamples, nbuckets)
-	if err != nil {
-		return nil, fmt.Errorf("core: memory distribution: %w", err)
-	}
+	t, _, err := b.RebuildFromSamples(computeSamples, memSamples)
+	return t, err
+}
 
-	t := &TailTable{
-		Percentile: percentile,
-		MaxQueue:   maxQueue,
-		meanC:      distC.Mean(),
-		varC:       distC.Variance(),
-		meanM:      distM.Mean(),
-		varM:       distM.Variance(),
-	}
+// Rebuild refills t in place from the profiled compute and memory
+// distributions held in b (b.distC, b.distM), using b's cached convolution
+// plans and scratch buffers. The caller passes the distributions' moments
+// so they are computed once per refresh. All convolutions run before t is
+// touched, so a failed rebuild leaves the previous contents intact.
+func (t *TailTable) Rebuild(b *TableBuilder, meanC, varC, meanM, varM float64) error {
+	distC, distM := b.distC, b.distM
+	maxQueue, rows, percentile := b.maxQueue, b.rows, b.percentile
 
 	// Exact sum tails for a fresh head: exactC[i] = Q(C^(*(i+1))),
-	// computed once with FFT-accelerated convolutions.
-	exactC := make([]float64, maxQueue)
-	exactM := make([]float64, maxQueue)
-	cs, err := stats.IterConvolutions(distC, distC, maxQueue)
+	// computed once with plan-cached FFT convolutions.
+	planC, err := b.planFor(stats.PlanSizeFor(len(distC.P), len(distC.P), maxQueue))
 	if err != nil {
-		return nil, fmt.Errorf("core: compute convolutions: %w", err)
+		return err
 	}
-	msum, err := stats.IterConvolutions(distM, distM, maxQueue)
+	if err := planC.IterConvolutionsInto(b.convC, distC, distC); err != nil {
+		return fmt.Errorf("core: compute convolutions: %w", err)
+	}
+	planM, err := b.planFor(stats.PlanSizeFor(len(distM.P), len(distM.P), maxQueue))
 	if err != nil {
-		return nil, fmt.Errorf("core: memory convolutions: %w", err)
+		return err
+	}
+	if err := planM.IterConvolutionsInto(b.convM, distM, distM); err != nil {
+		return fmt.Errorf("core: memory convolutions: %w", err)
 	}
 	for i := 0; i < maxQueue; i++ {
-		exactC[i] = cs[i].Quantile(percentile)
-		exactM[i] = msum[i].Quantile(percentile)
+		b.exactC[i] = b.convC[i].Quantile(percentile)
+		b.exactM[i] = b.convM[i].Quantile(percentile)
 	}
+
+	t.Percentile = percentile
+	t.MaxQueue = maxQueue
+	t.meanC, t.varC = meanC, varC
+	t.meanM, t.varM = meanM, varM
 
 	for r := 0; r < rows; r++ {
 		q := float64(r) / float64(rows)
@@ -121,11 +127,11 @@ func BuildTailTable(computeSamples, memSamples []float64, percentile float64, nb
 			boundC = distC.Quantile(q)
 			boundM = distM.Quantile(q)
 		}
-		t.rowBoundsC = append(t.rowBoundsC, boundC)
-		t.rowBoundsM = append(t.rowBoundsM, boundM)
+		t.rowBoundsC[r] = boundC
+		t.rowBoundsM[r] = boundM
 
-		condC := distC.ConditionAtLeast(boundC)
-		condM := distM.ConditionAtLeast(boundM)
+		condC := distC.ConditionAtLeastInto(b.condC, boundC)
+		condM := distM.ConditionAtLeastInto(b.condM, boundM)
 		discC := t.meanC - condC.Mean()
 		discM := t.meanM - condM.Mean()
 		if discC < 0 {
@@ -136,18 +142,16 @@ func BuildTailTable(computeSamples, memSamples []float64, percentile float64, nb
 		}
 		headC := condC.Quantile(percentile)
 		headM := condM.Quantile(percentile)
-		cRow := make([]float64, maxQueue)
-		mRow := make([]float64, maxQueue)
+		cRow := t.c[r]
+		mRow := t.m[r]
 		for i := 0; i < maxQueue; i++ {
-			cRow[i] = maxf(exactC[i]-discC, headC)
-			mRow[i] = maxf(exactM[i]-discM, headM)
+			cRow[i] = maxf(b.exactC[i]-discC, headC)
+			mRow[i] = maxf(b.exactM[i]-discM, headM)
 		}
-		t.c = append(t.c, cRow)
-		t.m = append(t.m, mRow)
-		t.discC = append(t.discC, discC)
-		t.discM = append(t.discM, discM)
+		t.discC[r] = discC
+		t.discM[r] = discM
 	}
-	return t, nil
+	return nil
 }
 
 func maxf(a, b float64) float64 {
@@ -158,15 +162,21 @@ func maxf(a, b float64) float64 {
 }
 
 // RowFor returns the table row for a head request with elapsedCycles of
-// compute work already performed.
+// compute work already performed: the largest row whose conditioning point
+// is at or below the elapsed work. Row bounds are quantiles of the
+// profiled distribution at increasing q, hence nondecreasing, so a binary
+// search suffices; RowFor runs on every arrival, completion, and tick.
 func (t *TailTable) RowFor(elapsedCycles float64) int {
-	row := 0
-	for r := 1; r < len(t.rowBoundsC); r++ {
-		if t.rowBoundsC[r] <= elapsedCycles {
-			row = r
+	lo, hi := 1, len(t.rowBoundsC) // find first bound > elapsed in [1, n)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.rowBoundsC[mid] <= elapsedCycles {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return row
+	return lo - 1
 }
 
 // Lookup returns the tail cycles c_i and tail memory time m_i (ns) for the

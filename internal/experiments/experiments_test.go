@@ -500,7 +500,7 @@ func TestAblation(t *testing.T) {
 	}
 	for _, app := range r.Apps {
 		vs := r.Rows[app]
-		if len(vs) != 7 {
+		if len(vs) != 8 {
 			t.Fatalf("%s: %d variants", app, len(vs))
 		}
 		full := vs[0]
@@ -527,6 +527,11 @@ func TestAblation(t *testing.T) {
 		// Removing feedback keeps the tail but costs savings.
 		if nf := byName["no feedback"]; nf.TailRel > 1.10 {
 			t.Errorf("%s: no-feedback tail %.2fx bound", app, nf.TailRel)
+		}
+		// The drift gate serves slightly stale tables at steady load;
+		// it must still honor the bound (it rebuilds on real drift).
+		if dg := byName["drift-gated tables (2%)"]; dg.TailRel > 1.10 {
+			t.Errorf("%s: drift-gated tail %.2fx bound", app, dg.TailRel)
 		}
 		if nf := byName["no feedback"]; nf.SavingsPct > full.SavingsPct+1 {
 			t.Errorf("%s: feedback should not lose savings: %.1f%% vs %.1f%%",

@@ -137,11 +137,16 @@ func IterConvolutions(s0, s PMF, count int) ([]PMF, error) {
 	}
 	n := nextPow2(maxLen)
 	fs := make([]complex128, n)
-	for i, v := range s.P {
-		fs[i] = complex(v, 0)
-	}
-	if err := FFT(fs); err != nil {
-		return nil, err
+	// When count == 1 the output is just s0 and fs is never multiplied in;
+	// skipping it also matters for correctness, since n is sized for the
+	// chain and can be smaller than len(s.P) in that case.
+	if count > 1 {
+		for i, v := range s.P {
+			fs[i] = complex(v, 0)
+		}
+		if err := FFT(fs); err != nil {
+			return nil, err
+		}
 	}
 	acc := make([]complex128, n)
 	for i, v := range s0.P {

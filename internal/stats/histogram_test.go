@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestHistogramMatchesNewPMFFromSamples is the streaming profiler's core
+// equivalence property: over any sequence of pushes, PMFInto must be
+// bitwise-identical to NewPMFFromSamples on the trailing window, including
+// window wrap-around and the degenerate all-equal case.
+func TestHistogramMatchesNewPMFFromSamples(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := 1 + r.Intn(200)
+		nbuckets := 1 + r.Intn(140)
+		h := NewHistogram(capacity)
+		var all []float64
+		var dst PMF
+		n := 1 + r.Intn(600)
+		for i := 0; i < n; i++ {
+			var v float64
+			switch r.Intn(4) {
+			case 0:
+				v = float64(r.Intn(4)) // heavy ties exercise the deques
+			default:
+				v = r.NormFloat64() * 1e5
+			}
+			if !h.Push(v) {
+				return false
+			}
+			all = append(all, v)
+			if r.Intn(8) != 0 { // check at random points, not every push
+				continue
+			}
+			window := all
+			if len(window) > capacity {
+				window = window[len(window)-capacity:]
+			}
+			want, err := NewPMFFromSamples(window, nbuckets)
+			if err != nil {
+				return false
+			}
+			if err := h.PMFInto(&dst, nbuckets); err != nil {
+				return false
+			}
+			if !sameBits(dst.Origin, want.Origin) || !sameBits(dst.Width, want.Width) ||
+				len(dst.P) != len(want.P) {
+				return false
+			}
+			for k := range want.P {
+				if !sameBits(dst.P[k], want.P[k]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramWindowExtrema(t *testing.T) {
+	// Min/Max must track the sliding window exactly (naive recompute).
+	r := rand.New(rand.NewSource(3))
+	const capacity = 37
+	h := NewHistogram(capacity)
+	var all []float64
+	for i := 0; i < 1000; i++ {
+		v := math.Floor(r.NormFloat64() * 10)
+		h.Push(v)
+		all = append(all, v)
+		window := all
+		if len(window) > capacity {
+			window = window[len(window)-capacity:]
+		}
+		lo, hi := window[0], window[0]
+		for _, s := range window {
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		}
+		if h.Min() != lo || h.Max() != hi {
+			t.Fatalf("push %d: extrema (%v, %v), want (%v, %v)", i, h.Min(), h.Max(), lo, hi)
+		}
+		if h.Len() != len(window) {
+			t.Fatalf("push %d: len %d, want %d", i, h.Len(), len(window))
+		}
+	}
+}
+
+func TestHistogramSnapshotOrder(t *testing.T) {
+	h := NewHistogram(4)
+	for i := 1; i <= 6; i++ {
+		h.Push(float64(i))
+	}
+	got := h.Snapshot(nil)
+	want := []float64{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramRejects(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if h.Push(v) {
+			t.Fatalf("non-finite sample %v accepted", v)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("rejected samples counted: len %d", h.Len())
+	}
+	var dst PMF
+	if err := h.PMFInto(&dst, 8); err == nil {
+		t.Fatal("empty histogram must refuse to bin")
+	}
+	if err := func() error { h.Push(1); return h.PMFInto(&dst, 0) }(); err == nil {
+		t.Fatal("nbuckets=0 must be rejected")
+	}
+	zero := NewHistogram(0)
+	if zero.Push(1) {
+		t.Fatal("zero-capacity histogram accepted a sample")
+	}
+}
+
+func TestHistogramDegenerateWindow(t *testing.T) {
+	h := NewHistogram(16)
+	for i := 0; i < 5; i++ {
+		h.Push(42)
+	}
+	var dst PMF
+	if err := h.PMFInto(&dst, 128); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Origin != 42 || dst.Width != 1 || len(dst.P) != 1 || dst.P[0] != 1 {
+		t.Fatalf("degenerate PMF %+v", dst)
+	}
+}
+
+func TestHistogramPMFIntoAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	h := NewHistogram(512)
+	for i := 0; i < 2000; i++ {
+		h.Push(r.Float64() * 1e6)
+	}
+	var dst PMF
+	if err := h.PMFInto(&dst, 128); err != nil { // warm the destination
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := h.PMFInto(&dst, 128); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PMFInto allocates %v/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(10, func() { h.Push(1234.5) })
+	if allocs != 0 {
+		t.Fatalf("Push allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestConditionAtLeastIntoMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomPMF(r, 1+r.Intn(128), float64(r.Intn(20)), 0.5+r.Float64())
+		buf := make([]float64, len(d.P))
+		for trial := 0; trial < 8; trial++ {
+			omega := d.Origin + (r.Float64()*1.4-0.2)*float64(len(d.P))*d.Width
+			want := d.ConditionAtLeast(omega)
+			got := d.ConditionAtLeastInto(buf, omega)
+			if !sameBits(got.Origin, want.Origin) || !sameBits(got.Width, want.Width) ||
+				len(got.P) != len(want.P) {
+				return false
+			}
+			for k := range want.P {
+				if !sameBits(got.P[k], want.P[k]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

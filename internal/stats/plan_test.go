@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPMF(r *rand.Rand, n int, origin, width float64) PMF {
+	p := make([]float64, n)
+	var tot float64
+	for i := range p {
+		p[i] = r.Float64()
+		tot += p[i]
+	}
+	for i := range p {
+		p[i] /= tot
+	}
+	return PMF{Origin: origin, Width: width, P: p}
+}
+
+func TestNewConvolutionPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 12, 1000} {
+		if _, err := NewConvolutionPlan(n); err == nil {
+			t.Fatalf("plan size %d must be rejected", n)
+		}
+	}
+}
+
+func TestPlanTransformsMatchNaiveBitwise(t *testing.T) {
+	// The plan's precomputed twiddles come from the same recurrence as the
+	// naive FFT/IFFT, so transforms must agree to the last bit.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << r.Intn(11) // 1..1024
+		plan, err := NewConvolutionPlan(n)
+		if err != nil {
+			return false
+		}
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(r.NormFloat64(), r.NormFloat64())
+			b[i] = a[i]
+		}
+		if err := FFT(a); err != nil {
+			return false
+		}
+		if err := plan.Forward(b); err != nil {
+			return false
+		}
+		for i := range a {
+			if !sameBits(real(a[i]), real(b[i])) || !sameBits(imag(a[i]), imag(b[i])) {
+				return false
+			}
+		}
+		if err := IFFT(a); err != nil {
+			return false
+		}
+		if err := plan.Inverse(b); err != nil {
+			return false
+		}
+		for i := range a {
+			if !sameBits(real(a[i]), real(b[i])) || !sameBits(imag(a[i]), imag(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestIterConvolutionsIntoMatchesNaiveBitwise is the pipeline's core
+// equivalence property: the planned, allocation-free convolution chain
+// must reproduce IterConvolutions bit for bit, including on non-power-of-
+// two bucket counts and degenerate single-bucket PMFs, so the table
+// rebuild swap cannot perturb any experiment.
+func TestIterConvolutionsIntoMatchesNaiveBitwise(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 0.25 + r.Float64()
+		s0 := randomPMF(r, 1+r.Intn(130), float64(r.Intn(10)), width)
+		s := randomPMF(r, 1+r.Intn(130), float64(r.Intn(10)), width)
+		count := 1 + r.Intn(20)
+		want, err := IterConvolutions(s0, s, count)
+		if err != nil {
+			return false
+		}
+		plan, err := NewConvolutionPlan(PlanSizeFor(len(s0.P), len(s.P), count))
+		if err != nil {
+			return false
+		}
+		got := make([]PMF, count)
+		// Two rounds: the second reuses the first round's destination
+		// buffers and the plan's scratch, proving reuse changes nothing.
+		for round := 0; round < 2; round++ {
+			if err := plan.IterConvolutionsInto(got, s0, s); err != nil {
+				return false
+			}
+			for i := range want {
+				if !sameBits(got[i].Origin, want[i].Origin) || !sameBits(got[i].Width, want[i].Width) {
+					return false
+				}
+				if len(got[i].P) != len(want[i].P) {
+					return false
+				}
+				for k := range want[i].P {
+					if !sameBits(got[i].P[k], want[i].P[k]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterConvolutionsIntoDegenerateSingleBucket(t *testing.T) {
+	// A degenerate profile (all samples equal) yields a single-bucket PMF;
+	// the chain is then a sequence of deltas and needs a size-1 plan.
+	d := PMF{Origin: 5, Width: 1, P: []float64{1}}
+	const count = 4
+	want, err := IterConvolutions(d, d, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewConvolutionPlan(PlanSizeFor(1, 1, count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Size() != 1 {
+		t.Fatalf("delta chain plan size %d, want 1", plan.Size())
+	}
+	got := make([]PMF, count)
+	if err := plan.IterConvolutionsInto(got, d, d); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !sameBits(got[i].Origin, want[i].Origin) || len(got[i].P) != 1 ||
+			!sameBits(got[i].P[0], want[i].P[0]) {
+			t.Fatalf("i=%d got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIterConvolutionsIntoValidation(t *testing.T) {
+	ok := PMF{Origin: 0, Width: 1, P: []float64{1}}
+	plan, err := NewConvolutionPlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.IterConvolutionsInto(nil, ok, ok); err == nil {
+		t.Fatal("expected error for empty dst")
+	}
+	if err := plan.IterConvolutionsInto(make([]PMF, 2), PMF{}, ok); err == nil {
+		t.Fatal("expected error for empty s0")
+	}
+	bad := PMF{Origin: 0, Width: 3, P: []float64{1}}
+	if err := plan.IterConvolutionsInto(make([]PMF, 2), ok, bad); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+	// Mismatched plan size must be rejected, not silently mis-transformed.
+	big := randomPMF(rand.New(rand.NewSource(1)), 64, 0, 1)
+	if err := plan.IterConvolutionsInto(make([]PMF, 8), big, big); err == nil {
+		t.Fatal("expected plan size mismatch error")
+	}
+	if err := plan.Forward(make([]complex128, 2)); err == nil {
+		t.Fatal("expected size error from Forward")
+	}
+	if err := plan.Inverse(make([]complex128, 2)); err == nil {
+		t.Fatal("expected size error from Inverse")
+	}
+}
+
+func TestIterConvolutionsIntoAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := randomPMF(r, 128, 0, 1000)
+	plan, err := NewConvolutionPlan(PlanSizeFor(128, 128, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]PMF, 16)
+	if err := plan.IterConvolutionsInto(dst, d, d); err != nil { // warm buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := plan.IterConvolutionsInto(dst, d, d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm IterConvolutionsInto allocates %v/op, want 0", allocs)
+	}
+}

@@ -184,6 +184,51 @@ func (d PMF) ConditionAtLeast(omega float64) PMF {
 	return PMF{Origin: 0, Width: d.Width, P: rest}
 }
 
+// ConditionAtLeastInto is ConditionAtLeast writing into buf's backing
+// array (grown only when too small), for rebuild paths that condition the
+// same distribution once per table row and cannot afford a fresh slice per
+// row. buf must not alias d.P. The returned PMF is bitwise-identical to
+// ConditionAtLeast's.
+func (d PMF) ConditionAtLeastInto(buf []float64, omega float64) PMF {
+	if len(d.P) == 0 {
+		return d
+	}
+	fit := func(n int) []float64 {
+		if cap(buf) < n {
+			return make([]float64, n)
+		}
+		return buf[:n]
+	}
+	if omega <= d.Origin {
+		out := fit(len(d.P))
+		copy(out, d.P)
+		return PMF{Origin: d.Origin - omega, Width: d.Width, P: out}
+	}
+	// The epsilon keeps conditioning exactly at a bucket boundary from
+	// rounding down into the previous bucket.
+	k := int((omega-d.Origin)/d.Width + 1e-9)
+	if k >= len(d.P) {
+		out := fit(1)
+		out[0] = 1
+		return PMF{Origin: 0, Width: d.Width, P: out}
+	}
+	rest := fit(len(d.P) - k)
+	copy(rest, d.P[k:])
+	var mass float64
+	for _, v := range rest {
+		mass += v
+	}
+	if mass <= 0 {
+		out := fit(1)
+		out[0] = 1
+		return PMF{Origin: 0, Width: d.Width, P: out}
+	}
+	for i := range rest {
+		rest[i] /= mass
+	}
+	return PMF{Origin: 0, Width: d.Width, P: rest}
+}
+
 // Convolve returns the distribution of the sum of two independent variables
 // with matching bucket widths, computed directly (O(n*m)). It is the
 // reference implementation the FFT path is tested against.
