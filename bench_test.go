@@ -18,6 +18,7 @@ import (
 	"rubik/internal/experiments"
 	"rubik/internal/policy"
 	"rubik/internal/queueing"
+	"rubik/internal/sim"
 	"rubik/internal/stats"
 	"rubik/internal/workload"
 )
@@ -212,6 +213,63 @@ func benchWorkers(b *testing.B, workers int) {
 
 func BenchmarkClusterScaleSequential(b *testing.B) { benchWorkers(b, 1) }
 func BenchmarkClusterScaleParallel(b *testing.B)   { benchWorkers(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkEngine pins the per-event cost of the simulation substrate: 16
+// pre-registered handles rescheduling themselves through a populated event
+// heap. Steady state performs zero allocations per event.
+func BenchmarkEngine(b *testing.B) {
+	eng := sim.NewEngine()
+	const handles = 16
+	fired := 0
+	hs := make([]sim.Handle, handles)
+	for i := 0; i < handles; i++ {
+		i := i
+		hs[i] = eng.Register(func() {
+			fired++
+			if fired <= b.N-handles {
+				// Distinct periods keep the heap busy and unordered.
+				eng.RescheduleAfter(hs[i], sim.Time(97+13*i))
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	fired = 0
+	for i := range hs {
+		eng.Reschedule(hs[i], sim.Time(1+i))
+	}
+	eng.Run()
+	if fired < b.N {
+		b.Fatalf("fired %d of %d events", fired, b.N)
+	}
+}
+
+// BenchmarkCoreEvent pins the per-event cost of the queueing hot path: one
+// arrival into an idle core, the policy decision, the completion, and the
+// trailing idle decision — the full busy-period cycle with zero
+// steady-state allocations (ring slot reuse, handle reschedules, snapshot
+// buffer reuse; the pre-sized completion log is charged up front).
+func BenchmarkCoreEvent(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := queueing.DefaultConfig()
+	cfg.ExpectedRequests = b.N
+	c, err := queueing.NewCore(eng, queueing.FixedPolicy{MHz: 2400}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := workload.Request{ComputeCycles: 240_000, MemTime: 20_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.ID = i
+		req.Arrival = eng.Now()
+		c.Enqueue(req)
+		eng.Run()
+	}
+	if got := len(c.Completions()); got != b.N {
+		b.Fatalf("completed %d of %d", got, b.N)
+	}
+}
 
 // BenchmarkReplay measures the analytic FIFO replay the oracles use.
 func BenchmarkReplay(b *testing.B) {

@@ -1,12 +1,14 @@
 // Command rubikbench runs the hot-path micro-benchmarks of the analytical
-// model pipeline and emits machine-readable BENCH_<name>.json files, so the
-// perf trajectory (table rebuild, convolution chain, per-event decision,
+// model pipeline and the simulation substrate, and emits machine-readable
+// BENCH_<name>.json files, so the perf trajectory (event engine, core
+// event cycle, table rebuild, convolution chain, per-event decision,
 // cluster simulation) can be tracked across commits without scraping `go
 // test -bench` text output.
 //
 // Usage:
 //
 //	rubikbench [-out dir] [-bench regexp] [-list]
+//	rubikbench -baseline dir   compare a fresh run against saved BENCH_*.json
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"rubik"
 	rubikcore "rubik/internal/core"
 	"rubik/internal/queueing"
+	"rubik/internal/sim"
 	"rubik/internal/stats"
 	"rubik/internal/workload"
 )
@@ -173,12 +176,105 @@ var benches = []struct {
 			}
 		}
 	}},
+	{"Engine", func(b *testing.B) {
+		eng := sim.NewEngine()
+		const handles = 16
+		fired := 0
+		hs := make([]sim.Handle, handles)
+		for i := 0; i < handles; i++ {
+			i := i
+			hs[i] = eng.Register(func() {
+				fired++
+				if fired <= b.N-handles {
+					eng.RescheduleAfter(hs[i], sim.Time(97+13*i))
+				}
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		fired = 0
+		for i := range hs {
+			eng.Reschedule(hs[i], sim.Time(1+i))
+		}
+		eng.Run()
+		if fired < b.N {
+			b.Fatalf("fired %d of %d events", fired, b.N)
+		}
+	}},
+	{"CoreEvent", func(b *testing.B) {
+		eng := sim.NewEngine()
+		cfg := queueing.DefaultConfig()
+		cfg.ExpectedRequests = b.N
+		c, err := queueing.NewCore(eng, queueing.FixedPolicy{MHz: 2400}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := workload.Request{ComputeCycles: 240_000, MemTime: 20_000}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req.ID = i
+			req.Arrival = eng.Now()
+			c.Enqueue(req)
+			eng.Run()
+		}
+		if got := len(c.Completions()); got != b.N {
+			b.Fatalf("completed %d of %d", got, b.N)
+		}
+	}},
+}
+
+// loadBaseline reads BENCH_<name>.json files from a directory (or one
+// file), keyed by benchmark name.
+func loadBaseline(path string) (map[string]result, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	files := []string{path}
+	if st.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no BENCH_*.json files in %s", path)
+		}
+	}
+	base := map[string]result{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var r result
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		if r.Name == "" {
+			return nil, fmt.Errorf("%s: missing benchmark name", f)
+		}
+		base[r.Name] = r
+	}
+	return base, nil
+}
+
+// deltaPct formats the relative change from base to cur ("-25.0%").
+func deltaPct(base, cur float64) string {
+	if base == 0 {
+		if cur == 0 {
+			return "±0.0%"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-base)/base)
 }
 
 func main() {
 	out := flag.String("out", ".", "directory to write BENCH_<name>.json files to")
 	pattern := flag.String("bench", ".", "regexp selecting benchmarks to run")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	baseline := flag.String("baseline", "", "BENCH_*.json dir (or one file) to diff the fresh run against")
 	flag.Parse()
 
 	re, err := regexp.Compile(*pattern)
@@ -191,6 +287,13 @@ func main() {
 			fmt.Println(bm.name)
 		}
 		return
+	}
+	var base map[string]result
+	if *baseline != "" {
+		if base, err = loadBaseline(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "rubikbench: -baseline: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "rubikbench: %v\n", err)
@@ -228,6 +331,15 @@ func main() {
 		}
 		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op  -> %s\n",
 			bm.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, path)
+		if base != nil {
+			if b, ok := base[bm.name]; ok {
+				fmt.Printf("%-24s %12.0f ns/op (%s) %15d allocs/op (%s)\n",
+					"  vs baseline", b.NsPerOp, deltaPct(b.NsPerOp, res.NsPerOp),
+					b.AllocsPerOp, deltaPct(float64(b.AllocsPerOp), float64(res.AllocsPerOp)))
+			} else {
+				fmt.Printf("%-24s (not in baseline)\n", "  vs baseline")
+			}
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "rubikbench: no benchmarks match %q\n", *pattern)

@@ -105,6 +105,7 @@ func newCore(eng *sim.Engine, cfg CoreConfig) (*core, error) {
 		Power:             cfg.Power,
 		TransitionLatency: cfg.TransitionLatency,
 		InitialMHz:        cfg.InitialMHz,
+		ExpectedRequests:  len(cfg.Trace.Requests),
 		// No WakeLatency: the core never sleeps — batch work keeps it busy,
 		// and the resume cost is the interference model's preemption
 		// latency instead.

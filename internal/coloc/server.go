@@ -231,10 +231,16 @@ func RunHWServer(cfg ServerConfig) (ServerResult, error) {
 		}
 	}
 
-	var epochTick func()
-	epochTick = func() {
-		curves := make([]occupantCurve, len(cores))
-		floors := make([]int, len(cores))
+	// The epoch tick is one pre-registered event rescheduling itself, and
+	// the allocator inputs are reused across epochs: a steady-state epoch
+	// allocates only inside allocate's greedy climb.
+	curves := make([]occupantCurve, len(cores))
+	floors := make([]int, len(cores))
+	var epochH sim.Handle
+	epochTick := func() {
+		for i := range floors {
+			floors[i] = 0
+		}
 		for i, c := range cores {
 			if c.queueLen() > 0 {
 				curves[i] = occupantCurve{
@@ -261,10 +267,11 @@ func RunHWServer(cfg ServerConfig) (ServerResult, error) {
 			}
 		}
 		if anyWork {
-			eng.After(cfg.Epoch, epochTick)
+			eng.RescheduleAfter(epochH, cfg.Epoch)
 		}
 	}
-	eng.After(cfg.Epoch, epochTick)
+	epochH = eng.Register(epochTick)
+	eng.RescheduleAfter(epochH, cfg.Epoch)
 	eng.Run()
 
 	res := ServerResult{Cores: make([]CoreResult, len(cores))}

@@ -321,6 +321,8 @@ func maxFloat(a, b float64) float64 {
 }
 
 // OnEvent implements queueing.Policy: paper Eq. 2 over the current queue.
+// The queue snapshot is read synchronously and never retained, per the
+// queueing.View contract (the core reuses the snapshot buffer).
 //
 // The DVFS actuation lag is charged only when satisfying the constraints
 // requires switching *up*: staying at the current frequency involves no

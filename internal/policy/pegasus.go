@@ -68,7 +68,9 @@ func (p *Pegasus) ObserveCompletion(c queueing.Completion) {
 // TickEvery implements queueing.Ticker.
 func (p *Pegasus) TickEvery() sim.Time { return p.Period }
 
-// OnTick implements queueing.Ticker: the guardbanded feedback step.
+// OnTick implements queueing.Ticker: the guardbanded feedback step. The
+// View is consumed synchronously (Pegasus only reads the clock), per the
+// queueing.View non-retention contract.
 func (p *Pegasus) OnTick(v queueing.View) int {
 	p.window.AdvanceTo(v.Now)
 	if p.window.Len() < 8 {

@@ -14,6 +14,10 @@ import (
 // work when service begins (wake penalties, colocation interference); the
 // elapsed counters then report the inflated work, exactly as CPI-stack
 // performance counters would.
+//
+// ActiveRequests live by value in a core-owned ring buffer; the pointer a
+// hook receives is valid only for the duration of the hook call and must
+// not be retained.
 type ActiveRequest struct {
 	Req workload.Request
 	// RemainingCC / RemainingMem are compute cycles and memory-bound ns
@@ -39,7 +43,8 @@ type Hooks struct {
 	// after Start is stamped. preempting is true when the request begins a
 	// busy period (the core was idle or occupied by other work). When nil,
 	// the default adds Config.WakeLatency to the first request of each
-	// busy period.
+	// busy period. The *ActiveRequest points into the core's ring buffer:
+	// mutate it synchronously, do not retain it.
 	StartService func(a *ActiveRequest, preempting bool)
 	// Busy fires when a busy period begins, before StartService.
 	Busy func(now sim.Time)
@@ -62,20 +67,47 @@ type Hooks struct {
 // the cluster package all consume it; arrivals are pushed in via Enqueue
 // (by a trace feeder or a cluster dispatcher) at the engine's current
 // time.
+//
+// The event hot path is allocation-free in steady state: requests live by
+// value in a ring buffer (slots recycle as the FIFO wraps), the
+// completion/switch/tick events are pre-registered engine handles moved
+// with Reschedule/Cancel, the policy View reuses a core-owned snapshot
+// buffer, and queue-length/pending-work counters are maintained
+// incrementally so dispatchers never rescan the queue.
 type Core struct {
 	eng    *sim.Engine
 	cfg    Config
 	policy Policy
 	hooks  Hooks
 
-	queue []*ActiveRequest
+	// FIFO ring buffer: the request in service is ring[head], arrivals
+	// append at (head+count) & mask. Capacity is a power of two and grows
+	// only when the instantaneous queue depth exceeds it.
+	ring  []ActiveRequest
+	head  int
+	count int
+	mask  int
+
+	// pendCC/pendMem sum RemainingCC/RemainingMem over the ring: the O(1)
+	// pending-work counters behind PendingWorkNs. Updated on enqueue,
+	// accrual, service-begin inflation and completion.
+	pendCC  float64
+	pendMem float64
+
+	// viewQueue is the policy-visible queue snapshot reused across
+	// decision points (non-race builds; see view_norace.go / view_race.go).
+	viewQueue []QueuedRequest
+
 	meter *cpu.EnergyMeter
 
 	cur           int
 	target        int
 	switchPending bool
 	lastAccrual   sim.Time
-	completionGen uint64
+
+	completionH sim.Handle
+	switchH     sim.Handle
+	tickH       sim.Handle
 
 	completions []Completion
 
@@ -104,7 +136,18 @@ func NewCore(eng *sim.Engine, p Policy, cfg Config) (*Core, error) {
 		cur:    cfg.InitialMHz,
 		target: cfg.InitialMHz,
 	}
+	c.completionH = eng.Register(c.completionEvent)
+	c.switchH = eng.Register(c.switchEvent)
+	if cfg.ExpectedRequests > 0 {
+		c.completions = make([]Completion, 0, cfg.ExpectedRequests)
+	}
 	if cfg.RecordTimeline {
+		if cfg.ExpectedRequests > 0 {
+			// Frequency changes track decision points, which track events:
+			// a couple per request is the right order of magnitude.
+			c.freqTimeline = make([]FreqSample, 0, 2*cfg.ExpectedRequests)
+			c.energyTimeline = make([]EnergySample, 0, 2*cfg.ExpectedRequests)
+		}
 		c.freqTimeline = append(c.freqTimeline, FreqSample{T: 0, MHz: c.cur})
 	}
 	return c, nil
@@ -122,20 +165,51 @@ func (c *Core) StartTicks(moreArrivals func() bool) {
 	if !ok || t.TickEvery() <= 0 {
 		return
 	}
-	c.eng.After(t.TickEvery(), func() { c.tickEvent(t, moreArrivals) })
+	c.tickH = c.eng.Register(func() { c.tickEvent(t, moreArrivals) })
+	c.eng.RescheduleAfter(c.tickH, t.TickEvery())
+}
+
+// at returns the i-th request in FIFO order (0 = head, in service).
+func (c *Core) at(i int) *ActiveRequest {
+	return &c.ring[(c.head+i)&c.mask]
+}
+
+// grow doubles the ring, unwrapping the FIFO to the front. Amortized: the
+// ring stops growing once it covers the run's peak queue depth.
+func (c *Core) grow() {
+	n := len(c.ring)
+	if n == 0 {
+		c.ring = make([]ActiveRequest, 16)
+		c.mask = 15
+		return
+	}
+	bigger := make([]ActiveRequest, 2*n)
+	for i := 0; i < c.count; i++ {
+		bigger[i] = c.ring[(c.head+i)&c.mask]
+	}
+	c.ring = bigger
+	c.mask = 2*n - 1
+	c.head = 0
 }
 
 // Enqueue delivers a request to the core at the engine's current time.
 func (c *Core) Enqueue(req workload.Request) {
 	c.Accrue()
-	a := &ActiveRequest{
+	if c.count == len(c.ring) {
+		c.grow()
+	}
+	i := (c.head + c.count) & c.mask
+	a := &c.ring[i]
+	*a = ActiveRequest{
 		Req:           req,
 		RemainingCC:   req.ComputeCycles,
 		RemainingMem:  float64(req.MemTime),
-		QlenAtArrival: len(c.queue),
+		QlenAtArrival: c.count,
 	}
-	wasIdle := len(c.queue) == 0
-	c.queue = append(c.queue, a)
+	wasIdle := c.count == 0
+	c.count++
+	c.pendCC += a.RemainingCC
+	c.pendMem += a.RemainingMem
 	if wasIdle {
 		if c.hooks.Busy != nil {
 			c.hooks.Busy(c.eng.Now())
@@ -149,18 +223,20 @@ func (c *Core) Enqueue(req workload.Request) {
 }
 
 // startService stamps the head request's service start and applies the
-// service-begin hook (wake penalty / interference inflation).
+// service-begin hook (wake penalty / interference inflation), folding any
+// remaining-work inflation into the pending-work counters.
 func (c *Core) startService(a *ActiveRequest, preempting bool) {
 	a.Start = c.eng.Now()
+	ccBefore, memBefore := a.RemainingCC, a.RemainingMem
 	if c.hooks.StartService != nil {
 		c.hooks.StartService(a, preempting)
-		return
-	}
-	if preempting {
+	} else if preempting {
 		// Sleep exit: the first request of a busy period pays the wake
 		// penalty as additional non-scalable time.
 		a.RemainingMem += float64(c.cfg.WakeLatency)
 	}
+	c.pendCC += a.RemainingCC - ccBefore
+	c.pendMem += a.RemainingMem - memBefore
 }
 
 // Accrue charges energy and advances the head request's progress from the
@@ -175,7 +251,7 @@ func (c *Core) Accrue() {
 	if dt <= 0 {
 		return
 	}
-	if len(c.queue) == 0 {
+	if c.count == 0 {
 		if c.hooks.IdleAccrual != nil {
 			c.hooks.IdleAccrual(float64(dt), c.cur)
 		} else {
@@ -188,7 +264,7 @@ func (c *Core) Accrue() {
 		j := c.meter.Model.ActivePower(c.cur) * float64(dt) / 1e9
 		c.energyTimeline = append(c.energyTimeline, EnergySample{T: now, J: j})
 	}
-	head := c.queue[0]
+	head := &c.ring[c.head]
 	total := head.RemainingCC*1000/float64(c.cur) + head.RemainingMem
 	if total <= 0 {
 		return
@@ -203,13 +279,19 @@ func (c *Core) Accrue() {
 	head.RemainingMem -= dMem
 	head.ElapsedCC += dCC
 	head.ElapsedMem += dMem
+	c.pendCC -= dCC
+	c.pendMem -= dMem
 }
 
-// View assembles the policy-visible snapshot of the core.
+// View assembles the policy-visible snapshot of the core. The snapshot's
+// Queue aliases a core-owned buffer reused across decision points: a
+// policy must read it synchronously inside OnEvent/OnTick and must not
+// retain it past the call (race-instrumented builds poison retained
+// snapshots so `go test -race` catches violations; see view_race.go).
 func (c *Core) View() View {
-	q := make([]QueuedRequest, len(c.queue))
-	for i, a := range c.queue {
-		q[i] = QueuedRequest{Arrival: a.Req.Arrival}
+	q := c.snapshotBuf(c.count)
+	for i := 0; i < c.count; i++ {
+		q[i] = QueuedRequest{Arrival: c.ring[(c.head+i)&c.mask].Req.Arrival}
 	}
 	v := View{
 		Now:        c.eng.Now(),
@@ -217,9 +299,10 @@ func (c *Core) View() View {
 		TargetMHz:  c.target,
 		Queue:      q,
 	}
-	if len(c.queue) > 0 {
-		v.HeadElapsedCycles = c.queue[0].ElapsedCC
-		v.HeadElapsedMemNs = sim.Time(c.queue[0].ElapsedMem)
+	if c.count > 0 {
+		head := &c.ring[c.head]
+		v.HeadElapsedCycles = head.ElapsedCC
+		v.HeadElapsedMemNs = sim.Time(head.ElapsedMem)
 	}
 	return v
 }
@@ -229,7 +312,10 @@ func (c *Core) decide() {
 	if c.policy == nil {
 		return
 	}
-	c.ApplyFreq(c.policy.OnEvent(c.View()))
+	v := c.View()
+	f := c.policy.OnEvent(v)
+	retireView(v.Queue)
+	c.ApplyFreq(f)
 }
 
 // ApplyFreq retargets the DVFS actuator. A transition takes
@@ -257,7 +343,7 @@ func (c *Core) ApplyFreq(fMHz int) {
 	}
 	if !c.switchPending {
 		c.switchPending = true
-		c.eng.After(c.cfg.TransitionLatency, c.switchEvent)
+		c.eng.RescheduleAfter(c.switchH, c.cfg.TransitionLatency)
 	}
 }
 
@@ -278,26 +364,24 @@ func (c *Core) recordFreq() {
 }
 
 // rescheduleCompletion re-projects the head's completion time at the
-// current frequency. Stale completion events are invalidated by the
-// generation counter.
+// current frequency, moving the pre-registered completion event (or
+// parking it while the queue is empty). The engine edits the heap entry in
+// place: no closure, no allocation, no stale tombstone.
 func (c *Core) rescheduleCompletion() {
-	c.completionGen++
-	if len(c.queue) == 0 {
+	if c.count == 0 {
+		c.eng.Cancel(c.completionH)
 		return
 	}
-	head := c.queue[0]
+	head := &c.ring[c.head]
 	total := head.RemainingCC*1000/float64(c.cur) + head.RemainingMem
-	dur := sim.Time(math.Ceil(total))
-	gen := c.completionGen
-	c.eng.After(dur, func() { c.completionEvent(gen) })
+	c.eng.RescheduleAfter(c.completionH, sim.Time(math.Ceil(total)))
 }
 
-func (c *Core) completionEvent(gen uint64) {
-	if gen != c.completionGen {
-		return // superseded by a frequency change
-	}
+func (c *Core) completionEvent() {
 	c.Accrue()
-	head := c.queue[0]
+	head := &c.ring[c.head]
+	c.pendCC -= head.RemainingCC
+	c.pendMem -= head.RemainingMem
 	head.RemainingCC = 0
 	head.RemainingMem = 0
 	now := c.eng.Now()
@@ -316,18 +400,24 @@ func (c *Core) completionEvent(gen uint64) {
 		ServiceNs:         float64(now - head.Start),
 	}
 	c.completions = append(c.completions, comp)
-	c.queue = c.queue[1:]
+	c.head = (c.head + 1) & c.mask
+	c.count--
+	if c.count == 0 {
+		// Re-zero the pending-work counters at every idle point so float
+		// rounding from incremental updates cannot accumulate across busy
+		// periods.
+		c.pendCC, c.pendMem = 0, 0
+	}
 	if obs, ok := c.policy.(CompletionObserver); ok {
 		obs.ObserveCompletion(comp)
 	}
-	if len(c.queue) > 0 {
-		c.startService(c.queue[0], false)
+	if c.count > 0 {
+		c.startService(&c.ring[c.head], false)
 		c.decide()
 		c.rescheduleCompletion()
 		return
 	}
 	if c.hooks.Idle != nil {
-		c.completionGen++ // no completion pending
 		c.hooks.Idle(now)
 		return
 	}
@@ -337,29 +427,41 @@ func (c *Core) completionEvent(gen uint64) {
 
 func (c *Core) tickEvent(t Ticker, moreArrivals func() bool) {
 	c.Accrue()
-	f := t.OnTick(c.View())
+	v := c.View()
+	f := t.OnTick(v)
+	retireView(v.Queue)
 	if c.hooks.GateTick == nil || c.hooks.GateTick() {
 		c.ApplyFreq(f)
 	}
 	// Keep ticking only while there is work left to do; otherwise the
 	// simulation would never drain.
-	if (moreArrivals != nil && moreArrivals()) || len(c.queue) > 0 {
-		c.eng.After(t.TickEvery(), func() { c.tickEvent(t, moreArrivals) })
+	if (moreArrivals != nil && moreArrivals()) || c.count > 0 {
+		c.eng.RescheduleAfter(c.tickH, t.TickEvery())
 	}
 }
 
 // QueueLen returns the number of requests in the system (head in service).
-func (c *Core) QueueLen() int { return len(c.queue) }
+func (c *Core) QueueLen() int { return c.count }
 
 // PendingWorkNs estimates the time to drain the queue at the current
-// frequency: the remaining work of every queued request. Dispatchers use
-// it for least-work routing. Call Accrue first for an up-to-date value.
+// frequency: the remaining work of every queued request, from the
+// incrementally maintained pending-work counters — O(1), so dispatchers
+// can consult every core on every arrival without rescanning queues. Call
+// Accrue first for an up-to-date value.
 func (c *Core) PendingWorkNs() sim.Time {
-	var total float64
-	for _, a := range c.queue {
-		total += a.RemainingCC*1000/float64(c.cur) + a.RemainingMem
+	return sim.Time(c.pendCC*1000/float64(c.cur) + c.pendMem)
+}
+
+// pendingWorkScan is the O(queue) reference for PendingWorkNs, retained
+// for the equality test pinning the incremental counters.
+func (c *Core) pendingWorkScan() sim.Time {
+	var cc, mem float64
+	for i := 0; i < c.count; i++ {
+		a := c.at(i)
+		cc += a.RemainingCC
+		mem += a.RemainingMem
 	}
-	return sim.Time(total)
+	return sim.Time(cc*1000/float64(c.cur) + mem)
 }
 
 // CurrentMHz returns the frequency the core is executing at.
@@ -393,9 +495,10 @@ func (c *Core) Finalize() Result {
 	}
 }
 
-// Feeder replays a trace into a core: each arrival event schedules the
-// next one and enqueues the request, so the event heap holds at most one
-// pending arrival per feeder (the same chaining the original server used).
+// Feeder replays a trace into a core through one pre-registered arrival
+// event: each firing delivers the current request and moves the same
+// handle to the next arrival, so the event heap holds at most one pending
+// arrival per feeder and steady-state feeding allocates nothing.
 type Feeder struct {
 	eng  *sim.Engine
 	reqs []workload.Request
@@ -403,6 +506,9 @@ type Feeder struct {
 	// deliver routes the arriving request (single core: Enqueue on the one
 	// core; cluster: dispatch).
 	deliver func(req workload.Request)
+
+	h          sim.Handle
+	registered bool
 }
 
 // NewFeeder prepares a feeder; Start schedules the first arrival.
@@ -412,9 +518,14 @@ func NewFeeder(eng *sim.Engine, reqs []workload.Request, deliver func(req worklo
 
 // Start schedules the first arrival, if any.
 func (f *Feeder) Start() {
-	if len(f.reqs) > 0 {
-		f.eng.At(f.reqs[0].Arrival, f.event)
+	if len(f.reqs) == 0 {
+		return
 	}
+	if !f.registered {
+		f.h = f.eng.Register(f.event)
+		f.registered = true
+	}
+	f.eng.Reschedule(f.h, f.reqs[0].Arrival)
 }
 
 // Remaining reports how many requests have not yet arrived.
@@ -424,7 +535,7 @@ func (f *Feeder) event() {
 	req := f.reqs[f.next]
 	f.next++
 	if f.next < len(f.reqs) {
-		f.eng.At(f.reqs[f.next].Arrival, f.event)
+		f.eng.Reschedule(f.h, f.reqs[f.next].Arrival)
 	}
 	f.deliver(req)
 }

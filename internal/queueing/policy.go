@@ -21,6 +21,12 @@ type QueuedRequest struct {
 
 // View is the system state handed to a Policy at a decision point. Index 0
 // of Queue is the request in service (if any).
+//
+// Queue aliases a buffer the core reuses across decision points: a policy
+// must read it synchronously inside OnEvent/OnTick and must not retain it
+// past the call. Race-instrumented builds (`go test -race`) poison
+// retained snapshots from another goroutine, so a violation surfaces as a
+// data race instead of silent stale data.
 type View struct {
 	// Now is the current simulated time.
 	Now sim.Time
@@ -41,7 +47,7 @@ type View struct {
 // Policy chooses core frequencies. OnEvent fires after each arrival and
 // each completion; the returned frequency must be a grid step (the server
 // rounds up off-grid values); returning 0 or a negative value keeps the
-// current setting.
+// current setting. OnEvent must consume the View synchronously (see View).
 type Policy interface {
 	// Name identifies the policy in results and reports.
 	Name() string

@@ -24,6 +24,11 @@ type Config struct {
 	// RecordTimeline enables frequency and active-energy timelines in the
 	// Result, used by the transient-response figures (1b, 10).
 	RecordTimeline bool
+	// ExpectedRequests hints how many requests the core will serve
+	// (typically the trace length), pre-sizing the completion log and the
+	// optional timelines so steady-state appends never reallocate. Purely
+	// a capacity hint: it never changes simulation results.
+	ExpectedRequests int
 }
 
 // FreqSample marks a frequency change: the core runs at MHz from T onward.
@@ -99,6 +104,9 @@ type Result struct {
 // and the engine drains.
 func Run(trace workload.Trace, p Policy, cfg Config) (Result, error) {
 	eng := sim.NewEngine()
+	if cfg.ExpectedRequests == 0 {
+		cfg.ExpectedRequests = len(trace.Requests)
+	}
 	c, err := NewCore(eng, p, cfg)
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,23 @@
+//go:build !race
+
+package queueing
+
+// raceEnabled reports whether the race-detector view instrumentation is
+// compiled in (see view_race.go).
+const raceEnabled = false
+
+// snapshotBuf returns the core-owned snapshot buffer, reused across
+// decision points so a steady-state View performs zero allocations. The
+// View contract (read synchronously, do not retain) is what makes the
+// reuse safe; race-instrumented builds enforce it.
+func (c *Core) snapshotBuf(n int) []QueuedRequest {
+	if cap(c.viewQueue) < n {
+		c.viewQueue = make([]QueuedRequest, n)
+	}
+	return c.viewQueue[:n]
+}
+
+// retireView marks the snapshot as dead after the policy call returns. A
+// no-op without the race detector: the buffer is simply overwritten by the
+// next View.
+func retireView([]QueuedRequest) {}

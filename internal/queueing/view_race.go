@@ -1,0 +1,30 @@
+//go:build race
+
+package queueing
+
+// raceEnabled reports whether the race-detector view instrumentation is
+// compiled in.
+const raceEnabled = true
+
+// Under the race detector every View gets a fresh snapshot, and retireView
+// poisons it from an unsynchronized goroutine once the policy call
+// returns. A policy that held on to View.Queue and reads it after its
+// OnEvent/OnTick call therefore races with the poisoner and `go test
+// -race` reports it — turning a silent stale-aliasing bug into a build
+// failure. Simulation results are unchanged: the fresh snapshot holds the
+// same values the reused buffer would.
+
+func (c *Core) snapshotBuf(n int) []QueuedRequest {
+	return make([]QueuedRequest, n)
+}
+
+func retireView(q []QueuedRequest) {
+	if len(q) == 0 {
+		return
+	}
+	go func() {
+		for i := range q {
+			q[i] = QueuedRequest{Arrival: -1 << 62}
+		}
+	}()
+}

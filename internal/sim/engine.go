@@ -5,9 +5,15 @@
 // clock and event queue every simulated server is built on. Time is int64
 // nanoseconds. Events at equal timestamps fire in scheduling order, which
 // makes every simulation reproducible given the same inputs.
+//
+// The engine is built for zero allocations per event in steady state: the
+// event queue is a 4-ary min-heap of small value structs (no interface
+// boxing, no container/heap indirection), and recurring events — a core's
+// completion, its DVFS switch, its policy tick, a feeder's next arrival —
+// are pre-registered once with Register and then moved with Reschedule /
+// Cancel, which edit the heap entry in place instead of pushing a fresh
+// closure and tombstoning the stale one.
 package sim
-
-import "container/heap"
 
 // Time is a point in simulated time, in nanoseconds.
 type Time = int64
@@ -20,37 +26,46 @@ const (
 	Second      Time = 1000 * 1000 * 1000
 )
 
-type event struct {
+// Handle identifies an event pre-registered on an Engine. The callback is
+// fixed at Register time; Reschedule sets (or moves) its firing time and
+// Cancel clears it. A handle holds at most one pending firing, which is
+// exactly the shape of every recurring event in the simulators (one
+// completion per core, one arrival per feeder, ...).
+type Handle int32
+
+// unscheduled marks a handle with no pending heap entry.
+const unscheduled = -1
+
+// entry is one scheduled event. Entries live by value in the heap slice:
+// scheduling never boxes and never allocates beyond amortized slice growth.
+type entry struct {
 	at  Time
 	seq uint64
-	fn  func()
+	h   Handle
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+type handleState struct {
+	fn      func()
+	pos     int32 // index into Engine.heap, or unscheduled
+	oneShot bool  // slot recycles after firing (At/After events)
 }
 
 // Engine is a discrete-event simulator: a clock plus a time-ordered event
 // queue. The zero value is not usable; call NewEngine.
 type Engine struct {
-	now  Time
-	heap eventHeap
-	seq  uint64
+	now     Time
+	seq     uint64
+	heap    []entry
+	handles []handleState
+	free    []Handle // recycled one-shot handle slots
+
+	// phantom is the latest firing time displaced by Reschedule/Cancel. The
+	// pre-handle engine left superseded events in the heap as no-op
+	// tombstones, so a full drain advanced the clock to the latest time
+	// ever scheduled, canceled or not; simulations observe that clock as
+	// Result.EndTime. Run reproduces it so the handle engine is
+	// byte-identical to the reference, without keeping tombstones around.
+	phantom Time
 }
 
 // NewEngine returns an engine with the clock at 0 and no pending events.
@@ -61,14 +76,78 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at simulated time t. Scheduling in the past
-// (t < Now) clamps to Now, i.e. the event fires next.
-func (e *Engine) At(t Time, fn func()) {
+// Register reserves a handle firing fn. The event is initially unscheduled;
+// arm it with Reschedule. Handles stay valid for the engine's lifetime.
+func (e *Engine) Register(fn func()) Handle {
+	return e.register(fn, false)
+}
+
+func (e *Engine) register(fn func(), oneShot bool) Handle {
+	if n := len(e.free); n > 0 {
+		h := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.handles[h] = handleState{fn: fn, pos: unscheduled, oneShot: oneShot}
+		return h
+	}
+	e.handles = append(e.handles, handleState{fn: fn, pos: unscheduled, oneShot: oneShot})
+	return Handle(len(e.handles) - 1)
+}
+
+// Reschedule schedules the handle's event at simulated time t, moving the
+// pending firing if one exists. Scheduling in the past (t < Now) clamps to
+// Now, i.e. the event fires next. A reschedule counts as a fresh scheduling
+// for tie-breaking: among equal timestamps it fires after events already
+// scheduled there, exactly as if it had been pushed anew.
+func (e *Engine) Reschedule(h Handle, t Time) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	hs := &e.handles[h]
+	if hs.pos != unscheduled {
+		i := int(hs.pos)
+		if e.heap[i].at > e.phantom {
+			e.phantom = e.heap[i].at
+		}
+		e.heap[i].at = t
+		e.heap[i].seq = e.seq
+		e.siftDown(e.siftUp(i))
+		return
+	}
+	e.heap = append(e.heap, entry{at: t, seq: e.seq, h: h})
+	hs.pos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// RescheduleAfter schedules the handle's event d nanoseconds from now.
+func (e *Engine) RescheduleAfter(h Handle, d Time) {
+	e.Reschedule(h, e.now+d)
+}
+
+// Cancel clears the handle's pending firing, if any. The handle remains
+// registered and can be rescheduled.
+func (e *Engine) Cancel(h Handle) {
+	hs := &e.handles[h]
+	if hs.pos == unscheduled {
+		return
+	}
+	if at := e.heap[hs.pos].at; at > e.phantom {
+		e.phantom = at
+	}
+	e.removeAt(int(hs.pos))
+}
+
+// Scheduled reports whether the handle has a pending firing.
+func (e *Engine) Scheduled(h Handle) bool {
+	return e.handles[h].pos != unscheduled
+}
+
+// At schedules fn to run at simulated time t. Scheduling in the past
+// (t < Now) clamps to Now, i.e. the event fires next. Each call allocates
+// a one-shot slot (recycled after firing); hot paths should pre-register a
+// Handle and use Reschedule instead.
+func (e *Engine) At(t Time, fn func()) {
+	e.Reschedule(e.register(fn, true), t)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -85,15 +164,28 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
-	e.now = ev.at
-	ev.fn()
+	top := e.heap[0]
+	e.removeAt(0)
+	e.now = top.at
+	hs := &e.handles[top.h]
+	fn := hs.fn
+	if hs.oneShot {
+		hs.fn = nil
+		e.free = append(e.free, top.h)
+	}
+	fn()
 	return true
 }
 
-// Run executes events until the queue is empty.
+// Run executes events until the queue is empty. The final clock is the
+// latest time ever scheduled, including firings later displaced by
+// Reschedule/Cancel (see the phantom field) — the drain semantics the
+// tombstone-based engine had.
 func (e *Engine) Run() {
 	for e.Step() {
+	}
+	if e.now < e.phantom {
+		e.now = e.phantom
 	}
 }
 
@@ -106,4 +198,77 @@ func (e *Engine) RunUntil(t Time) {
 	if e.now < t {
 		e.now = t
 	}
+}
+
+// less orders entries by (time, scheduling order). seq is unique, so the
+// order is total and the heap arity cannot affect firing order.
+func less(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// removeAt deletes the entry at heap index i, marking its handle
+// unscheduled and restoring the heap property around the hole.
+func (e *Engine) removeAt(i int) {
+	n := len(e.heap) - 1
+	e.handles[e.heap[i].h].pos = unscheduled
+	if i == n {
+		e.heap = e.heap[:n]
+		return
+	}
+	e.heap[i] = e.heap[n]
+	e.heap = e.heap[:n]
+	e.handles[e.heap[i].h].pos = int32(i)
+	e.siftDown(e.siftUp(i))
+}
+
+// siftUp moves the entry at index i toward the root until its parent is no
+// larger, maintaining handle positions. It returns the final index.
+func (e *Engine) siftUp(i int) int {
+	ev := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(ev, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.handles[e.heap[i].h].pos = int32(i)
+		i = p
+	}
+	e.heap[i] = ev
+	e.handles[ev.h].pos = int32(i)
+	return i
+}
+
+// siftDown moves the entry at index i toward the leaves until no child is
+// smaller, maintaining handle positions.
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	ev := e.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !less(e.heap[best], ev) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.handles[e.heap[i].h].pos = int32(i)
+		i = best
+	}
+	e.heap[i] = ev
+	e.handles[ev.h].pos = int32(i)
 }

@@ -1,0 +1,139 @@
+//go:build !rubik_noref
+
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lockstepPair drives Engine and RefEngine through an identical schedule
+// and records each firing as (label, time) so the histories can be
+// compared.
+type lockstepPair struct {
+	eng *Engine
+	ref *RefEngine
+
+	engLog []firing
+	refLog []firing
+}
+
+type firing struct {
+	label int
+	at    Time
+}
+
+// TestEngineLockstepWithReference is the randomized stress property test:
+// interleaved At/After/Reschedule/Cancel/RunUntil/Step sequences — plus
+// self-rescheduling handles, the shape every core event has — must produce
+// the identical firing order and clock on the handle-based engine and the
+// container/heap reference.
+func TestEngineLockstepWithReference(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		r := rand.New(rand.NewSource(seed))
+		p := &lockstepPair{eng: NewEngine(), ref: NewRefEngine()}
+
+		// Persistent handles 0..7: pure logging callbacks.
+		const handles = 8
+		var engH, refH [handles]Handle
+		for i := 0; i < handles; i++ {
+			i := i
+			engH[i] = p.eng.Register(func() { p.engLog = append(p.engLog, firing{i, p.eng.Now()}) })
+			refH[i] = p.ref.Register(func() { p.refLog = append(p.refLog, firing{i, p.ref.Now()}) })
+		}
+		// Handle 8: self-rescheduling chain (a completion/tick lookalike),
+		// deterministically re-arming itself a bounded number of times.
+		chain := 3 + r.Intn(10)
+		period := Time(1 + r.Intn(40))
+		engChain, refChain := 0, 0
+		var engCH, refCH Handle
+		engCH = p.eng.Register(func() {
+			p.engLog = append(p.engLog, firing{handles, p.eng.Now()})
+			engChain++
+			if engChain < chain {
+				p.eng.RescheduleAfter(engCH, period)
+			}
+		})
+		refCH = p.ref.Register(func() {
+			p.refLog = append(p.refLog, firing{handles, p.ref.Now()})
+			refChain++
+			if refChain < chain {
+				p.ref.RescheduleAfter(refCH, period)
+			}
+		})
+
+		ops := 50 + r.Intn(150)
+		for op := 0; op < ops; op++ {
+			switch k := r.Intn(10); {
+			case k < 3: // reschedule a persistent handle (possibly moving it)
+				i := r.Intn(handles)
+				at := Time(r.Intn(500))
+				p.eng.Reschedule(engH[i], at)
+				p.ref.Reschedule(refH[i], at)
+			case k < 4: // arm or move the chain
+				at := Time(r.Intn(500))
+				p.eng.Reschedule(engCH, at)
+				p.ref.Reschedule(refCH, at)
+			case k < 5: // cancel a persistent handle
+				i := r.Intn(handles)
+				p.eng.Cancel(engH[i])
+				p.ref.Cancel(refH[i])
+			case k < 7: // one-shot closure at an absolute time (possibly past)
+				at := Time(r.Intn(500))
+				label := 100 + op
+				p.eng.At(at, func() { p.engLog = append(p.engLog, firing{label, p.eng.Now()}) })
+				p.ref.At(at, func() { p.refLog = append(p.refLog, firing{label, p.ref.Now()}) })
+			case k < 8: // one-shot closure a relative distance out
+				d := Time(r.Intn(100))
+				label := 100 + op
+				p.eng.After(d, func() { p.engLog = append(p.engLog, firing{label, p.eng.Now()}) })
+				p.ref.After(d, func() { p.refLog = append(p.refLog, firing{label, p.ref.Now()}) })
+			case k < 9: // advance both clocks a bounded amount
+				until := p.eng.Now() + Time(r.Intn(120))
+				p.eng.RunUntil(until)
+				p.ref.RunUntil(until)
+			default: // single real step
+				// One Engine step fires one real event; the reference burns
+				// tombstone steps first, so step it until a real firing (or
+				// drained). If the engine had nothing, leave the reference's
+				// remaining tombstones for the final drain, as production
+				// loops would.
+				if p.eng.Step() {
+					for n := len(p.refLog); len(p.refLog) == n; {
+						if !p.ref.Step() {
+							t.Fatalf("seed %d op %d: reference drained before matching a real firing", seed, op)
+						}
+					}
+				}
+			}
+			if p.eng.Now() != p.ref.Now() {
+				t.Fatalf("seed %d op %d: clocks diverged mid-run: eng=%d ref=%d",
+					seed, op, p.eng.Now(), p.ref.Now())
+			}
+			// Scheduled must agree at every point (the ref tracks it via the
+			// tombstone generation, the engine via the heap position).
+			for i := 0; i < handles; i++ {
+				if p.eng.Scheduled(engH[i]) != p.ref.Scheduled(refH[i]) {
+					t.Fatalf("seed %d op %d: Scheduled(handle %d) diverged: eng=%v ref=%v",
+						seed, op, i, p.eng.Scheduled(engH[i]), p.ref.Scheduled(refH[i]))
+				}
+			}
+		}
+		p.eng.Run()
+		p.ref.Run()
+
+		if p.eng.Now() != p.ref.Now() {
+			t.Fatalf("seed %d: clocks diverged: eng=%d ref=%d", seed, p.eng.Now(), p.ref.Now())
+		}
+		if len(p.engLog) != len(p.refLog) {
+			t.Fatalf("seed %d: firing counts diverged: eng=%d ref=%d\neng=%v\nref=%v",
+				seed, len(p.engLog), len(p.refLog), p.engLog, p.refLog)
+		}
+		for i := range p.engLog {
+			if p.engLog[i] != p.refLog[i] {
+				t.Fatalf("seed %d: firing %d diverged: eng=%v ref=%v", seed, i, p.engLog[i], p.refLog[i])
+			}
+		}
+	}
+}

@@ -171,6 +171,127 @@ func TestEngineStepEmpty(t *testing.T) {
 	}
 }
 
+func TestEngineHandleReschedule(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	h := e.Register(func() { fired = append(fired, e.Now()) })
+	e.Reschedule(h, 100)
+	e.Reschedule(h, 40) // move earlier: a handle holds one pending firing
+	if !e.Scheduled(h) {
+		t.Fatal("handle not scheduled after Reschedule")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (reschedule must move, not duplicate)", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 40 {
+		t.Fatalf("fired = %v, want [40]", fired)
+	}
+	if e.Scheduled(h) {
+		t.Fatal("handle still scheduled after firing")
+	}
+	// Re-arm after firing: handles are reusable.
+	e.Reschedule(h, 200)
+	e.Run()
+	if len(fired) != 2 || fired[1] != 200 {
+		t.Fatalf("fired = %v, want [40 200]", fired)
+	}
+	// The displaced time (100) drags the drained clock, like the tombstone
+	// the pre-handle engine would have popped — but 200 has passed it.
+	if e.Now() != 200 {
+		t.Fatalf("now = %d, want 200", e.Now())
+	}
+}
+
+func TestEngineHandleCancel(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	h := e.Register(func() { fired++ })
+	e.Cancel(h) // cancel while unscheduled: no-op
+	e.Reschedule(h, 50)
+	e.Cancel(h)
+	if e.Scheduled(h) || e.Pending() != 0 {
+		t.Fatal("cancel left the event scheduled")
+	}
+	e.At(10, func() {})
+	e.Run()
+	if fired != 0 {
+		t.Fatal("canceled event fired")
+	}
+	// The canceled firing time drags the drained clock (legacy tombstone
+	// drain semantics): the last event ran at 10, but 50 was once scheduled.
+	if e.Now() != 50 {
+		t.Fatalf("now = %d, want 50 (displaced firing drags the drain clock)", e.Now())
+	}
+}
+
+func TestEngineHandleRescheduleKeepsTieOrder(t *testing.T) {
+	// A reschedule counts as a fresh scheduling: among equal timestamps it
+	// fires after events already scheduled there.
+	e := NewEngine()
+	var order []string
+	h := e.Register(func() { order = append(order, "handle") })
+	e.Reschedule(h, 10)
+	e.At(20, func() { order = append(order, "closure@20") })
+	e.Reschedule(h, 20) // moved after closure@20 was scheduled
+	e.Run()
+	if len(order) != 2 || order[0] != "closure@20" || order[1] != "handle" {
+		t.Fatalf("order = %v, want [closure@20 handle]", order)
+	}
+}
+
+func TestEngineHandleSelfRescheduleInCallback(t *testing.T) {
+	// The completion/tick/feeder shape: a handle re-arms itself while
+	// firing. Zero allocations in steady state.
+	e := NewEngine()
+	n := 0
+	var h Handle
+	h = e.Register(func() {
+		n++
+		if n < 5 {
+			e.RescheduleAfter(h, 7)
+		}
+	})
+	e.Reschedule(h, 7)
+	e.Run()
+	if n != 5 || e.Now() != 35 {
+		t.Fatalf("n=%d now=%d, want 5 fires ending at 35", n, e.Now())
+	}
+}
+
+func TestEngineRescheduleClampsPast(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	h := e.Register(func() { at = e.Now() })
+	e.At(100, func() { e.Reschedule(h, 50) })
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past reschedule fired at %d, want clamp to 100", at)
+	}
+}
+
+func TestEngineOneShotSlotRecycling(t *testing.T) {
+	// Chained At/After (the pre-handle feeder pattern) must recycle one-shot
+	// slots instead of growing the handle table per event.
+	e := NewEngine()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < 1000 {
+			e.After(3, chain)
+		}
+	}
+	e.At(0, chain)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("n = %d, want 1000", n)
+	}
+	if got := len(e.handles); got > 4 {
+		t.Fatalf("handle table grew to %d slots for a 1-deep chain", got)
+	}
+}
+
 func TestEngineMonotonicClockProperty(t *testing.T) {
 	// Property: for random event sets, the engine fires them in sorted
 	// order and the clock never goes backwards.

@@ -104,21 +104,72 @@ func (p *ConvolutionPlan) Inverse(x []complex128) error {
 }
 
 func (p *ConvolutionPlan) transform(x []complex128, tw []complex128) {
-	n := p.n
 	for i, j := range p.rev {
 		if j > i {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	for size := 2; size <= n; size <<= 1 {
+	p.stages(x, tw)
+}
+
+// transformFrom gathers src through the bit-reversal permutation into dst
+// and runs the butterfly stages there, fusing the copy a caller would
+// otherwise need before an in-place transform. The permutation is an
+// involution, so the gather produces exactly the array copy-then-swap
+// would; data movement only, bitwise-identical results.
+func (p *ConvolutionPlan) transformFrom(dst, src []complex128, tw []complex128) {
+	for i, j := range p.rev {
+		dst[i] = src[j]
+	}
+	p.stages(dst, tw)
+}
+
+func (p *ConvolutionPlan) stages(x []complex128, tw []complex128) {
+	n := p.n
+	// Every specialization below performs the identical floating-point
+	// operations in the identical order as the plain nested loop (including
+	// the multiplications by the unit twiddle, whose skipping could flip
+	// signed zeros), so results stay bitwise-equal to the naive FFT path —
+	// the plan tests assert it.
+	if n >= 2 {
+		// size == 2: one butterfly per block; a block loop with subslices
+		// would spend more time slicing than computing.
+		w := tw[0]
+		for s := 1; s < n; s += 2 {
+			a := x[s-1]
+			b := x[s] * w
+			x[s-1] = a + b
+			x[s] = a - b
+		}
+	}
+	if n >= 4 {
+		// size == 4: two butterflies per block, twiddles held in registers.
+		w0, w1 := tw[1], tw[2]
+		for s := 3; s < n; s += 4 {
+			a := x[s-3]
+			b := x[s-1] * w0
+			x[s-3] = a + b
+			x[s-1] = a - b
+			a = x[s-2]
+			b = x[s] * w1
+			x[s-2] = a + b
+			x[s] = a - b
+		}
+	}
+	for size := 8; size <= n; size <<= 1 {
 		half := size >> 1
 		ws := tw[half-1 : 2*half-1]
 		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * ws[k]
-				x[start+k] = a + b
-				x[start+k+half] = a - b
+			// Per-block subslices let the compiler drop the bounds checks
+			// in the butterfly: every index is bounded by len(xa).
+			xa := x[start : start+half]
+			xb := x[start+half : start+size][:len(xa)]
+			wk := ws[:len(xa)]
+			for k := range xa {
+				a := xa[k]
+				b := xb[k] * wk[k]
+				xa[k] = a + b
+				xb[k] = a - b
 			}
 		}
 	}
@@ -156,8 +207,11 @@ func (p *ConvolutionPlan) IterConvolutionsInto(dst []PMF, s0, s PMF) error {
 	if want := PlanSizeFor(len(s0.P), len(s.P), count); want != p.n {
 		return fmt.Errorf("stats: plan size %d, chain needs %d", p.n, want)
 	}
+	// Two single-destination loops so each compiles to a memclr.
 	for i := range p.fs {
 		p.fs[i] = 0
+	}
+	for i := range p.acc {
 		p.acc[i] = 0
 	}
 	// When count == 1 the output is just s0 and fs is never multiplied in;
@@ -176,8 +230,7 @@ func (p *ConvolutionPlan) IterConvolutionsInto(dst []PMF, s0, s PMF) error {
 
 	invN := complex(1/float64(p.n), 0)
 	for i := 0; i < count; i++ {
-		copy(p.tmp, p.acc)
-		p.transform(p.tmp, p.inv)
+		p.transformFrom(p.tmp, p.acc, p.inv)
 		length := len(s0.P) + i*(len(s.P)-1)
 		buf := dst[i].P
 		if cap(buf) < length {

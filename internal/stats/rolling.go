@@ -1,6 +1,6 @@
 package stats
 
-import "sort"
+import "math"
 
 // TimedSample is one (timestamp, value) observation in a rolling window.
 // Timestamps are int64 nanoseconds, matching the simulator clock.
@@ -20,6 +20,9 @@ type RollingWindow struct {
 	Span int64
 	buf  []TimedSample
 	head int
+	// scratch backs Percentile's selection so the per-tick feedback
+	// measurement is allocation-free in steady state.
+	scratch []float64
 }
 
 // NewRollingWindow returns a window covering the trailing span nanoseconds.
@@ -62,15 +65,81 @@ func (w *RollingWindow) Values() []float64 {
 	return out
 }
 
-// Percentile returns the q-quantile of the live values (0 if empty).
+// Percentile returns the q-quantile of the live values (0 if empty). It
+// selects the same nearest-rank order statistic the sort-based
+// implementation returned, via an O(n) quickselect over a reused scratch
+// buffer: controllers measure their feedback tail every tick, and a full
+// sort plus copy per tick dominated the measurement cost.
 func (w *RollingWindow) Percentile(q float64) float64 {
 	n := w.Len()
 	if n == 0 {
 		return 0
 	}
-	vals := w.Values()
-	sort.Float64s(vals)
-	return percentileSorted(vals, q)
+	if cap(w.scratch) < n {
+		w.scratch = make([]float64, n)
+	}
+	s := w.scratch[:0]
+	for _, smp := range w.buf[w.head:] {
+		s = append(s, smp.V)
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := 0
+	if q > 0 {
+		rank = int(math.Ceil(q*float64(n))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= n {
+			rank = n - 1
+		}
+	}
+	return selectKth(s, rank)
+}
+
+// selectKth returns the k-th smallest element of s (0-based), partially
+// reordering s in place. The returned value is the order statistic itself,
+// so it is identical to sorting and indexing regardless of pivot choices.
+func selectKth(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot: order s[lo], s[mid], s[hi].
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		p := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < p {
+				i++
+			}
+			for s[j] > p {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return s[k]
+		}
+	}
+	return s[k]
 }
 
 // Mean returns the mean of the live values (0 if empty).
