@@ -56,8 +56,31 @@ func BenchmarkFig16(b *testing.B)                { benchExperiment(b, "fig16") }
 func BenchmarkAblation(b *testing.B)             { benchExperiment(b, "ablation") }
 func BenchmarkPegasus(b *testing.B)              { benchExperiment(b, "pegasus") }
 func BenchmarkClusterScale(b *testing.B)         { benchExperiment(b, "clusterscale") }
+func BenchmarkScenarios(b *testing.B)            { benchExperiment(b, "scenarios") }
 
 // Micro-benchmarks of the hot paths.
+
+// BenchmarkSourceHotPath measures the streaming ingest cycle end to end:
+// generate one request from a scenario source, feed it through the core,
+// fold the completion into the aggregate histogram. This is the
+// per-request cost of a constant-memory run, and the allocs/op guard for
+// the whole streaming path — it must report 0 allocs/op (setup and
+// geometric ring growth amortize to zero over b.N requests).
+func BenchmarkSourceHotPath(b *testing.B) {
+	app := workload.Masstree()
+	src := workload.NewLoadSource(app, 0.5, b.N, 5)
+	cfg := queueing.DefaultConfig()
+	cfg.DropCompletions = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := queueing.RunSource(src, queueing.FixedPolicy{MHz: 2400}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Served != b.N {
+		b.Fatalf("served %d of %d", res.Served, b.N)
+	}
+}
 
 // BenchmarkTailTableBuild measures one periodic target-tail-table refresh
 // at paper parameters (128 buckets, 8 rows, 16 positions) the way the

@@ -163,6 +163,24 @@ var benches = []struct {
 			}
 		}
 	}},
+	{"SourceHotPath", func(b *testing.B) {
+		// Streaming ingest cycle: generate one request from a source, feed
+		// it through the core, fold the completion into the aggregate
+		// histogram. Guard: 0 allocs/op (constant-memory streaming path).
+		app := workload.Masstree()
+		src := workload.NewLoadSource(app, 0.5, b.N, 5)
+		cfg := queueing.DefaultConfig()
+		cfg.DropCompletions = true
+		b.ReportAllocs()
+		b.ResetTimer()
+		res, err := queueing.RunSource(src, queueing.FixedPolicy{MHz: 2400}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Served != b.N {
+			b.Fatalf("served %d of %d", res.Served, b.N)
+		}
+	}},
 	{"ClusterSimulate", func(b *testing.B) {
 		tr := workload.GenerateAtLoad(workload.Masstree(), 0.5*6, 12000, 3)
 		b.ReportAllocs()

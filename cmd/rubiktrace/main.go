@@ -5,13 +5,23 @@
 // Usage:
 //
 //	rubiktrace -gen -app masstree -load 0.4 -n 9000 -seed 7 -out m40.json
+//	rubiktrace -gen -scenario diurnal -app xapian -n 100000 -jsonl -out d.jsonl
 //	rubiktrace -describe m40.json
 //	rubiktrace -apps
+//	rubiktrace -scenarios
+//
+// With -scenario the requests come from the named entry of the scenario
+// registry (bursty MMPP, diurnal sinusoid, flash crowd, closed-loop
+// clients, heavy-tailed/correlated slowdowns, ...). With -jsonl the
+// output is JSON Lines — a metadata header then one request per line —
+// streamed straight from the scenario source, so arbitrarily long
+// exports run in constant memory. -describe reads both formats.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rubik/internal/cpu"
@@ -20,14 +30,17 @@ import (
 
 func main() {
 	var (
-		gen      = flag.Bool("gen", false, "generate a trace")
-		describe = flag.String("describe", "", "summarize a saved trace file")
-		listApps = flag.Bool("apps", false, "list available application models")
-		appName  = flag.String("app", "masstree", "application model")
-		load     = flag.Float64("load", 0.5, "load fraction of nominal capacity")
-		n        = flag.Int("n", 0, "requests (0 = the app's Table 3 count)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("out", "", "output file (default stdout)")
+		gen       = flag.Bool("gen", false, "generate a trace")
+		describe  = flag.String("describe", "", "summarize a saved trace file")
+		listApps  = flag.Bool("apps", false, "list available application models")
+		listScens = flag.Bool("scenarios", false, "list available scenario shapes")
+		appName   = flag.String("app", "masstree", "application model")
+		scenario  = flag.String("scenario", "", "scenario shape (default: plain Poisson; see -scenarios)")
+		load      = flag.Float64("load", 0.5, "load fraction of nominal capacity")
+		n         = flag.Int("n", 0, "requests (0 = the app's Table 3 count)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		jsonl     = flag.Bool("jsonl", false, "write JSON Lines (header + one request per line, streamed)")
+		out       = flag.String("out", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
@@ -38,17 +51,36 @@ func main() {
 			fmt.Printf("%-10s %-10d %-14s %s\n", a.Name, a.Requests,
 				fmt.Sprintf("%.3f ms", a.MeanServiceNsAtNominal()/1e6), a.Workload)
 		}
+	case *listScens:
+		fmt.Printf("%-12s %s\n", "scenario", "description")
+		for _, s := range workload.Scenarios() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+		}
 	case *gen:
 		app, err := workload.AppByName(*appName)
 		if err != nil {
 			fatal(err)
 		}
 		count := *n
+		if count < 0 {
+			// A negative cap means "unbounded" to the source layer, which
+			// an exporter must not materialize.
+			fatal(fmt.Errorf("-n must be >= 0 (0 = the app's Table 3 count), got %d", count))
+		}
 		if count == 0 {
 			count = app.Requests
 		}
-		tr := workload.GenerateAtLoad(app, *load, count, *seed)
-		w := os.Stdout
+		src := workload.Source(workload.NewLoadSource(app, *load, count, *seed))
+		srcName := app.Name
+		if *scenario != "" {
+			sc, err := workload.ScenarioByName(*scenario)
+			if err != nil {
+				fatal(err)
+			}
+			src = sc.New(app, *load, count, *seed)
+			srcName = app.Name + "/" + sc.Name
+		}
+		w := io.Writer(os.Stdout)
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
@@ -57,9 +89,23 @@ func main() {
 			defer f.Close()
 			w = f
 		}
+		if *jsonl {
+			// Streamed: one request in memory at a time.
+			written, err := workload.WriteJSONL(w, srcName, *seed, src, count)
+			if err != nil {
+				fatal(err)
+			}
+			warnShort(written, count)
+			return
+		}
+		tr, err := workload.Materialize(srcName, *seed, src, count)
+		if err != nil {
+			fatal(err)
+		}
 		if err := tr.Save(w); err != nil {
 			fatal(err)
 		}
+		warnShort(len(tr.Requests), count)
 		if *out != "" {
 			printStats(tr)
 		}
@@ -90,6 +136,20 @@ func printStats(tr workload.Trace) {
 		s.P50ServiceNs/1e6, s.P95ServiceNs/1e6, s.P99ServiceNs/1e6)
 	fmt.Printf("memory-bound   %.0f%% of work time\n", s.MemShare*100)
 	fmt.Printf("interarrival   mean %.3f ms\n", s.MeanInterarrivalNs/1e6)
+}
+
+// warnShort flags exports that drained before the requested count.
+// Closed-loop sources are the common case: they need completion feedback
+// an exporter cannot give, so only their open-loop prefix (one request
+// per client) can be captured — drive them live via the simulator entry
+// points (SimulateSource) instead.
+func warnShort(written, requested int) {
+	if written >= requested {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"rubiktrace: warning: source drained after %d of %d requests (closed-loop scenarios export only their open-loop prefix; simulate them live instead)\n",
+		written, requested)
 }
 
 func fatal(err error) {

@@ -121,13 +121,35 @@ func (r Result) Completions() []queueing.Completion {
 
 // TailNs pools post-warmup responses across cores and returns the
 // q-quantile (warmup is trimmed per core, as in the paper's steady-state
-// methodology).
+// methodology). When the cores streamed their completion logs out
+// (queueing.Config.DropCompletions) it merges the per-core response
+// histograms instead; the streamed estimate covers the whole run.
 func (r Result) TailNs(q, warmupFrac float64) float64 {
 	var all []float64
 	for _, c := range r.PerCore {
 		all = append(all, c.Responses(warmupFrac)...)
 	}
-	return stats.Percentile(all, q)
+	if len(all) > 0 {
+		return stats.Percentile(all, q)
+	}
+	var merged *stats.LogHistogram
+	for _, c := range r.PerCore {
+		if c.ResponseHist == nil {
+			continue
+		}
+		if merged == nil {
+			merged = stats.NewResponseHistogram()
+		}
+		if err := merged.Merge(c.ResponseHist); err != nil {
+			// All cores use the shared response geometry; a mismatch means
+			// a hand-built Result, for which there is no pooled tail.
+			return 0
+		}
+	}
+	if merged == nil {
+		return 0
+	}
+	return merged.Quantile(q)
 }
 
 // ActiveEnergyJ sums active core energy across cores.
@@ -148,12 +170,23 @@ func (r Result) TotalEnergyJ() float64 {
 	return e
 }
 
-// EnergyPerRequestJ is pooled active energy per completed request.
-func (r Result) EnergyPerRequestJ() float64 {
+// Served counts completed requests across cores (even when the per-core
+// completion logs were streamed out).
+func (r Result) Served() int {
 	var n int
 	for _, c := range r.PerCore {
-		n += len(c.Completions)
+		if c.Served > 0 {
+			n += c.Served
+		} else {
+			n += len(c.Completions)
+		}
 	}
+	return n
+}
+
+// EnergyPerRequestJ is pooled active energy per completed request.
+func (r Result) EnergyPerRequestJ() float64 {
+	n := r.Served()
 	if n == 0 {
 		return 0
 	}
@@ -173,46 +206,83 @@ func (r Result) MeanBusyCores() float64 {
 	return busy / float64(r.EndTime)
 }
 
-// Run simulates the trace on a cluster: one shared engine, Cores cores
-// each under a fresh policy, with the dispatcher routing every arrival.
-// The dispatcher sees exact queue state: all cores are accrued to the
-// arrival instant before it picks.
+// Run simulates the trace on a cluster. A materialized trace is just one
+// Source: Run is RunSource over the trace's stream, byte-identical to
+// the pre-streaming replay loop (the stream hints its length, so even
+// the per-core completion-log presizing is identical).
 func Run(tr workload.Trace, cfg Config) (Result, error) {
+	return RunSource(workload.NewTraceSource(tr), cfg)
+}
+
+// buildCores validates the config and assembles the per-core simulators.
+func buildCores(eng *sim.Engine, cfg Config) ([]*queueing.Core, error) {
 	if cfg.Cores <= 0 {
-		return Result{}, fmt.Errorf("cluster: need at least 1 core, got %d", cfg.Cores)
+		return nil, fmt.Errorf("cluster: need at least 1 core, got %d", cfg.Cores)
 	}
 	if cfg.NewPolicy == nil {
-		return Result{}, fmt.Errorf("cluster: nil NewPolicy factory")
+		return nil, fmt.Errorf("cluster: nil NewPolicy factory")
 	}
+	cores := make([]*queueing.Core, cfg.Cores)
+	for i := range cores {
+		p, err := cfg.NewPolicy(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building policy for core %d: %w", i, err)
+		}
+		c, err := queueing.NewCore(eng, p, cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = c
+	}
+	return cores, nil
+}
+
+// finalize assembles the per-core results.
+func finalize(eng *sim.Engine, cores []*queueing.Core, dispatcher string, routed []int) Result {
+	res := Result{
+		Dispatcher: dispatcher,
+		PerCore:    make([]queueing.Result, len(cores)),
+		Routed:     routed,
+		EndTime:    eng.Now(),
+	}
+	for i, c := range cores {
+		res.PerCore[i] = c.Finalize()
+	}
+	return res
+}
+
+// RunSource simulates a streaming request source on a cluster: one shared
+// engine, Cores cores each under a fresh policy, with the dispatcher
+// routing every arrival pulled from the source. The dispatcher sees exact
+// queue state: all cores are accrued to the arrival instant before it
+// picks. Nothing materializes the stream, so a 10M-request scenario run
+// needs memory for the queue depths, not the request count (pair with
+// Core.DropCompletions). Completion-aware sources (closed-loop clients)
+// receive every core's completions.
+func RunSource(src workload.Source, cfg Config) (Result, error) {
 	if cfg.Dispatcher == nil {
 		cfg.Dispatcher = NewRoundRobin()
 	}
 	cfg.Dispatcher.Reset()
 
 	eng := sim.NewEngine()
-	if cfg.Core.ExpectedRequests == 0 {
-		// Per-core share of the trace, as a capacity hint for completion
+	if cfg.Core.ExpectedRequests == 0 && cfg.Cores > 0 {
+		// Per-core share of the stream, as a capacity hint for completion
 		// logs. Dispatch imbalance only costs an amortized regrow.
-		cfg.Core.ExpectedRequests = (len(tr.Requests) + cfg.Cores - 1) / cfg.Cores
+		if n := src.Len(); n > 0 {
+			cfg.Core.ExpectedRequests = (n + cfg.Cores - 1) / cfg.Cores
+		}
 	}
-	cores := make([]*queueing.Core, cfg.Cores)
-	for i := range cores {
-		p, err := cfg.NewPolicy(i)
-		if err != nil {
-			return Result{}, fmt.Errorf("cluster: building policy for core %d: %w", i, err)
-		}
-		c, err := queueing.NewCore(eng, p, cfg.Core)
-		if err != nil {
-			return Result{}, err
-		}
-		cores[i] = c
+	cores, err := buildCores(eng, cfg)
+	if err != nil {
+		return Result{}, err
 	}
 
 	routed := make([]int, cfg.Cores)
 	states := make([]CoreState, cfg.Cores)
 	var pickErr error
 	var feed *queueing.Feeder
-	feed = queueing.NewFeeder(eng, tr.Requests, func(req workload.Request) {
+	feed = queueing.NewSourceFeeder(eng, src, func(req workload.Request) {
 		// O(cores) per arrival: Accrue is O(1) (head progress only) and the
 		// queue-length/pending-work counters are maintained incrementally
 		// by each Core, so no core's queue is rescanned here.
@@ -239,23 +309,72 @@ func Run(tr workload.Trace, cfg Config) (Result, error) {
 		routed[i]++
 		cores[i].Enqueue(req)
 	})
+	if _, aware := src.(workload.CompletionAware); aware {
+		for _, c := range cores {
+			c.SetHooks(queueing.Hooks{
+				Completion: func(comp queueing.Completion) { feed.NotifyCompletion(comp.Done) },
+			})
+		}
+	}
 	feed.Start()
 	for _, c := range cores {
 		c.StartTicks(func() bool { return feed.Remaining() > 0 })
 	}
-	eng.Run()
+	eng.RunUntilOrDrain(cfg.Core.Deadline)
 	if pickErr != nil {
 		return Result{}, pickErr
 	}
+	return finalize(eng, cores, cfg.Dispatcher.Name(), routed), nil
+}
 
-	res := Result{
-		Dispatcher: cfg.Dispatcher.Name(),
-		PerCore:    make([]queueing.Result, cfg.Cores),
-		Routed:     routed,
-		EndTime:    eng.Now(),
+// RunPerCoreSources simulates cores with dedicated request streams — no
+// dispatcher; core i serves srcs[i] exclusively. This is the segregated
+// topology (one listener per core, as the paper's per-core extrapolation
+// assumes) and the natural shape for per-core closed-loop populations.
+// cfg.Cores is overridden by len(srcs).
+func RunPerCoreSources(srcs []workload.Source, cfg Config) (Result, error) {
+	if len(srcs) == 0 {
+		return Result{}, fmt.Errorf("cluster: no per-core sources")
+	}
+	cfg.Cores = len(srcs)
+
+	eng := sim.NewEngine()
+	if cfg.Core.ExpectedRequests == 0 {
+		// Per-core hint from the largest known source length.
+		max := 0
+		for _, s := range srcs {
+			if n := s.Len(); n > max {
+				max = n
+			}
+		}
+		cfg.Core.ExpectedRequests = max
+	}
+	cores, err := buildCores(eng, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	routed := make([]int, len(srcs))
+	feeds := make([]*queueing.Feeder, len(srcs))
+	for i := range srcs {
+		i := i
+		feeds[i] = queueing.NewSourceFeeder(eng, srcs[i], func(req workload.Request) {
+			routed[i]++
+			cores[i].Enqueue(req)
+		})
+		if _, aware := srcs[i].(workload.CompletionAware); aware {
+			cores[i].SetHooks(queueing.Hooks{
+				Completion: func(comp queueing.Completion) { feeds[i].NotifyCompletion(comp.Done) },
+			})
+		}
+	}
+	for _, f := range feeds {
+		f.Start()
 	}
 	for i, c := range cores {
-		res.PerCore[i] = c.Finalize()
+		f := feeds[i]
+		c.StartTicks(func() bool { return f.Remaining() > 0 })
 	}
-	return res, nil
+	eng.RunUntilOrDrain(cfg.Core.Deadline)
+	return finalize(eng, cores, "percore", routed), nil
 }

@@ -20,6 +20,15 @@ type CoreConfig struct {
 	Batch workload.BatchApp
 	// Trace is the LC request stream.
 	Trace workload.Trace
+	// Source, when set, streams the LC requests instead of Trace — any
+	// scenario source (bursty, diurnal, flash-crowd, modulated) without
+	// materializing it. A materialized Trace and its Source are
+	// byte-identical under replay.
+	Source workload.Source
+	// Deadline, when > 0, stops the simulation at that time instead of
+	// draining the LC stream — the termination bound for unbounded
+	// sources (n < 0 generators), which never drain.
+	Deadline sim.Time
 	// LCPolicy decides LC frequencies (nil when an external allocator —
 	// HW-T / HW-TPW — owns the frequency).
 	LCPolicy queueing.Policy
@@ -100,12 +109,20 @@ func newCore(eng *sim.Engine, cfg CoreConfig) (*core, error) {
 	if !cfg.ExternalFreq && cfg.BatchMHz == 0 {
 		cfg.BatchMHz = cfg.Batch.OptimalTPWFreq(cfg.Grid, cfg.Power)
 	}
+	src := cfg.Source
+	if src == nil {
+		src = workload.NewTraceSource(cfg.Trace)
+	}
+	expected := 0
+	if n := src.Len(); n > 0 {
+		expected = n
+	}
 	qc, err := queueing.NewCore(eng, cfg.LCPolicy, queueing.Config{
 		Grid:              cfg.Grid,
 		Power:             cfg.Power,
 		TransitionLatency: cfg.TransitionLatency,
 		InitialMHz:        cfg.InitialMHz,
-		ExpectedRequests:  len(cfg.Trace.Requests),
+		ExpectedRequests:  expected,
 		// No WakeLatency: the core never sleeps — batch work keeps it busy,
 		// and the resume cost is the interference model's preemption
 		// latency instead.
@@ -128,8 +145,11 @@ func newCore(eng *sim.Engine, cfg CoreConfig) (*core, error) {
 		// Only actuate the LC policy's periodic tick while the LC app owns
 		// the core.
 		GateTick: func() bool { return qc.QueueLen() > 0 },
+		// Completion-aware sources (closed-loop clients) get their
+		// feedback; a no-op for ordinary sources.
+		Completion: func(comp queueing.Completion) { c.feed.NotifyCompletion(comp.Done) },
 	})
-	c.feed = queueing.NewFeeder(eng, cfg.Trace.Requests, qc.Enqueue)
+	c.feed = queueing.NewSourceFeeder(eng, src, qc.Enqueue)
 	return c, nil
 }
 
@@ -211,7 +231,8 @@ func (c *core) result() CoreResult {
 	}
 }
 
-// RunCore simulates a single colocated core to completion of its LC trace.
+// RunCore simulates a single colocated core to completion of its LC
+// stream, or to cfg.Deadline when set (required for unbounded sources).
 func RunCore(cfg CoreConfig) (CoreResult, error) {
 	eng := sim.NewEngine()
 	c, err := newCore(eng, cfg)
@@ -219,7 +240,7 @@ func RunCore(cfg CoreConfig) (CoreResult, error) {
 		return CoreResult{}, err
 	}
 	c.start()
-	eng.Run()
+	eng.RunUntilOrDrain(cfg.Deadline)
 	return c.result(), nil
 }
 

@@ -24,6 +24,12 @@ type SchemeConfig struct {
 	// RequestsPerCore is the LC trace length per core.
 	RequestsPerCore int
 	Seed            int64
+	// NewSource, when set, supplies core i's LC request stream instead of
+	// the default streaming Poisson generator at Load.
+	NewSource func(core int) workload.Source
+	// Deadline, when > 0, stops each core's simulation at that time —
+	// the termination bound when NewSource supplies unbounded streams.
+	Deadline sim.Time
 	// BoundNs is the LC tail latency bound (RubikColoc only).
 	BoundNs float64
 
@@ -76,11 +82,15 @@ func runIndependentCores(cfg SchemeConfig, mkPolicy func(int) (queueing.Policy, 
 		if err != nil {
 			return ServerResult{}, err
 		}
-		tr := workload.GenerateAtLoad(cfg.App, cfg.Load, cfg.RequestsPerCore, cfg.Seed+int64(i)*101)
+		src := workload.Source(workload.NewLoadSource(cfg.App, cfg.Load, cfg.RequestsPerCore, cfg.Seed+int64(i)*101))
+		if cfg.NewSource != nil {
+			src = cfg.NewSource(i)
+		}
 		cr, err := RunCore(CoreConfig{
 			App:               cfg.App,
 			Batch:             b,
-			Trace:             tr,
+			Source:            src,
+			Deadline:          cfg.Deadline,
 			LCPolicy:          pol,
 			Grid:              cfg.Grid,
 			Power:             cfg.Power,

@@ -129,6 +129,13 @@ type ServerConfig struct {
 	// RequestsPerCore is the LC trace length per core.
 	RequestsPerCore int
 	Seed            int64
+	// NewSource, when set, supplies core i's LC request stream instead of
+	// the default streaming Poisson generator at Load (scenario sources,
+	// closed-loop populations).
+	NewSource func(core int) workload.Source
+	// Deadline, when > 0, stops the simulation at that time — the
+	// termination bound when NewSource supplies unbounded streams.
+	Deadline sim.Time
 
 	Grid              cpu.Grid
 	Power             cpu.PowerModel
@@ -192,11 +199,16 @@ func RunHWServer(cfg ServerConfig) (ServerResult, error) {
 	eng := sim.NewEngine()
 	cores := make([]*core, len(cfg.Mix))
 	for i, b := range cfg.Mix {
-		tr := workload.GenerateAtLoad(cfg.App, cfg.Load, cfg.RequestsPerCore, cfg.Seed+int64(i)*101)
+		// Streaming by default: byte-identical to materializing the trace
+		// (GenerateAtLoad) at the same seed, without holding it.
+		src := workload.Source(workload.NewLoadSource(cfg.App, cfg.Load, cfg.RequestsPerCore, cfg.Seed+int64(i)*101))
+		if cfg.NewSource != nil {
+			src = cfg.NewSource(i)
+		}
 		cc, err := newCore(eng, CoreConfig{
 			App:               cfg.App,
 			Batch:             b,
-			Trace:             tr,
+			Source:            src,
 			LCPolicy:          nil,
 			ExternalFreq:      true,
 			Grid:              cfg.Grid,
@@ -272,7 +284,7 @@ func RunHWServer(cfg ServerConfig) (ServerResult, error) {
 	}
 	epochH = eng.Register(epochTick)
 	eng.RescheduleAfter(epochH, cfg.Epoch)
-	eng.Run()
+	eng.RunUntilOrDrain(cfg.Deadline)
 
 	res := ServerResult{Cores: make([]CoreResult, len(cores))}
 	for i, c := range cores {

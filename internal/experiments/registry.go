@@ -66,6 +66,8 @@ func Registry() []Entry {
 			func(o Options) (Renderer, error) { return Ablation(o) }},
 		{"clusterscale", "EXTENSION: multi-core cluster, cores x dispatcher x load sweep",
 			func(o Options) (Renderer, error) { return ClusterScale(o) }},
+		{"scenarios", "EXTENSION: arrival/service scenario shapes x schemes (streaming sources)",
+			func(o Options) (Renderer, error) { return ScenarioSweep(o) }},
 		{"pegasus", "EXTENSION: Pegasus-style feedback vs StaticOracle vs Rubik",
 			func(o Options) (Renderer, error) { return PegasusComparison(o) }},
 	}

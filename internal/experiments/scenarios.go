@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rubik/internal/queueing"
+	"rubik/internal/workload"
+)
+
+// ScenarioRow is one (scenario, scheme) cell of the sweep.
+type ScenarioRow struct {
+	Scenario string
+	Scheme   string
+	// Served is the completed request count (closed-loop populations may
+	// issue fewer than the cap if the run drains first).
+	Served int
+	// TailMs is the p95 response latency; BoundMs the app's paper bound.
+	TailMs  float64
+	BoundMs float64
+	// MJPerReq is active core energy per request.
+	MJPerReq float64
+	// Util is the fraction of wall time spent serving.
+	Util float64
+}
+
+// ScenariosResult is the EXTENSION experiment "scenarios": every arrival/
+// service shape in the workload scenario registry (stationary Poisson,
+// load steps, MMPP bursts, diurnal swings, flash crowds, closed-loop
+// clients, heavy-tailed and correlated slowdowns) run under fixed-nominal
+// and Rubik on the streaming source path. It is the evaluation the
+// paper's fixed Poisson/step harness could not express: how much of
+// Rubik's energy saving survives, and where its tail control strains,
+// when load varies the way production traffic does.
+type ScenariosResult struct {
+	App  string
+	Rows []ScenarioRow
+}
+
+// ScenarioSweep runs schemes x scenario shapes on masstree, sharding the
+// independent cells across Options.Workers goroutines. Every cell streams
+// its scenario source through queueing.RunSource; nothing materializes a
+// trace.
+func ScenarioSweep(opts Options) (*ScenariosResult, error) {
+	h := newHarness(opts)
+	app, err := workload.AppByName("masstree")
+	if err != nil {
+		return nil, err
+	}
+	bound, err := h.bound(app)
+	if err != nil {
+		return nil, err
+	}
+
+	const load = 0.5
+	n := opts.requests(app)
+	scenarios := workload.Scenarios()
+	schemes := []string{"fixed-nominal", "rubik"}
+
+	type cell struct {
+		scIdx  int
+		scheme string
+	}
+	var cells []cell
+	for i := range scenarios {
+		for _, s := range schemes {
+			cells = append(cells, cell{scIdx: i, scheme: s})
+		}
+	}
+
+	rows := make([]ScenarioRow, len(cells))
+	jobs := make([]func() error, len(cells))
+	for i, cl := range cells {
+		i, cl := i, cl
+		jobs[i] = func() error {
+			sc := scenarios[cl.scIdx]
+			src := sc.New(app, load, n, opts.Seed+stableSeed(sc.Name, load))
+			var pol queueing.Policy
+			switch cl.scheme {
+			case "fixed-nominal":
+				pol = queueing.FixedPolicy{MHz: h.qcfg.InitialMHz}
+			case "rubik":
+				r, err := h.rubik(bound, true)
+				if err != nil {
+					return err
+				}
+				pol = r
+			default:
+				return fmt.Errorf("experiments: unknown scenario scheme %q", cl.scheme)
+			}
+			res, err := queueing.RunSource(src, pol, h.qcfg)
+			if err != nil {
+				return fmt.Errorf("experiments: scenario %s under %s: %w", sc.Name, cl.scheme, err)
+			}
+			rows[i] = ScenarioRow{
+				Scenario: sc.Name,
+				Scheme:   cl.scheme,
+				Served:   res.Served,
+				TailMs:   ms(res.TailNs(TailPercentile, Warmup)),
+				BoundMs:  ms(bound),
+				MJPerReq: res.EnergyPerRequestJ() * 1e3,
+				Util:     res.Utilization(),
+			}
+			return nil
+		}
+	}
+	if err := RunParallel(opts.Workers, jobs...); err != nil {
+		return nil, err
+	}
+	return &ScenariosResult{App: app.Name, Rows: rows}, nil
+}
+
+// Render writes the sweep table.
+func (r *ScenariosResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "scenarios — %s: arrival/service shapes x schemes, streaming sources at 50%% mean load\n", r.App)
+	header := []string{"scenario", "scheme", "served", "p95 ms", "bound ms", "tail/bound", "mJ/req", "util"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Scenario,
+			row.Scheme,
+			fmt.Sprintf("%d", row.Served),
+			fmt.Sprintf("%.3f", row.TailMs),
+			fmt.Sprintf("%.3f", row.BoundMs),
+			fmt.Sprintf("%.2f", row.TailMs/row.BoundMs),
+			fmt.Sprintf("%.3f", row.MJPerReq),
+			fmt.Sprintf("%.2f", row.Util),
+		})
+	}
+	table(w, header, rows)
+}

@@ -6,6 +6,7 @@ import (
 
 	"rubik/internal/cpu"
 	"rubik/internal/sim"
+	"rubik/internal/stats"
 	"rubik/internal/workload"
 )
 
@@ -59,6 +60,11 @@ type Hooks struct {
 	// policy's periodic tick decision (coloc: the LC policy only owns the
 	// frequency while LC work is queued).
 	GateTick func() bool
+	// Completion fires after a completion is recorded (and after a
+	// CompletionObserver policy sees it), before the next request starts
+	// service. RunSource uses it to feed completions back to closed-loop
+	// sources.
+	Completion func(c Completion)
 }
 
 // Core is the single-core run loop every simulated server in the repo is
@@ -110,6 +116,8 @@ type Core struct {
 	tickH       sim.Handle
 
 	completions []Completion
+	served      int
+	respHist    *stats.LogHistogram
 
 	freqTimeline   []FreqSample
 	energyTimeline []EnergySample
@@ -138,7 +146,12 @@ func NewCore(eng *sim.Engine, p Policy, cfg Config) (*Core, error) {
 	}
 	c.completionH = eng.Register(c.completionEvent)
 	c.switchH = eng.Register(c.switchEvent)
-	if cfg.ExpectedRequests > 0 {
+	if cfg.DropCompletions {
+		// Streaming mode: per-request records fold into a fixed-size
+		// response histogram instead of an O(requests) log, so memory is
+		// independent of run length.
+		c.respHist = stats.NewResponseHistogram()
+	} else if cfg.ExpectedRequests > 0 {
 		c.completions = make([]Completion, 0, cfg.ExpectedRequests)
 	}
 	if cfg.RecordTimeline {
@@ -399,7 +412,12 @@ func (c *Core) completionEvent() {
 		ResponseNs:        float64(now - head.Req.Arrival),
 		ServiceNs:         float64(now - head.Start),
 	}
-	c.completions = append(c.completions, comp)
+	c.served++
+	if c.cfg.DropCompletions {
+		c.respHist.Observe(comp.ResponseNs)
+	} else {
+		c.completions = append(c.completions, comp)
+	}
 	c.head = (c.head + 1) & c.mask
 	c.count--
 	if c.count == 0 {
@@ -410,6 +428,9 @@ func (c *Core) completionEvent() {
 	}
 	if obs, ok := c.policy.(CompletionObserver); ok {
 		obs.ObserveCompletion(comp)
+	}
+	if c.hooks.Completion != nil {
+		c.hooks.Completion(comp)
 	}
 	if c.count > 0 {
 		c.startService(&c.ring[c.head], false)
@@ -484,6 +505,8 @@ func (c *Core) Finalize() Result {
 	return Result{
 		Policy:         name,
 		Completions:    c.completions,
+		Served:         c.served,
+		ResponseHist:   c.respHist,
 		ActiveEnergyJ:  c.meter.ActiveEnergyJ(),
 		IdleEnergyJ:    c.meter.IdleEnergyJ(),
 		ActiveNs:       c.meter.ActiveNs(),
@@ -495,47 +518,105 @@ func (c *Core) Finalize() Result {
 	}
 }
 
-// Feeder replays a trace into a core through one pre-registered arrival
-// event: each firing delivers the current request and moves the same
-// handle to the next arrival, so the event heap holds at most one pending
-// arrival per feeder and steady-state feeding allocates nothing.
+// Feeder streams a workload.Source into a core through one pre-registered
+// arrival event: it holds a one-request lookahead, and each firing
+// delivers the lookahead, pulls the next request and moves the same
+// handle to its arrival — so the event heap holds at most one pending
+// arrival per feeder and steady-state feeding allocates nothing,
+// regardless of whether the source is a materialized trace or an
+// unbounded generator.
 type Feeder struct {
-	eng  *sim.Engine
-	reqs []workload.Request
-	next int
+	eng *sim.Engine
+	src workload.Source
 	// deliver routes the arriving request (single core: Enqueue on the one
 	// core; cluster: dispatch).
 	deliver func(req workload.Request)
+
+	pending workload.Request
+	ok      bool
 
 	h          sim.Handle
 	registered bool
 }
 
-// NewFeeder prepares a feeder; Start schedules the first arrival.
+// NewFeeder prepares a feeder replaying a materialized request slice;
+// Start schedules the first arrival. It is NewSourceFeeder over the
+// slice's TraceSource.
 func NewFeeder(eng *sim.Engine, reqs []workload.Request, deliver func(req workload.Request)) *Feeder {
-	return &Feeder{eng: eng, reqs: reqs, deliver: deliver}
+	return NewSourceFeeder(eng, workload.NewRequestsSource(reqs), deliver)
 }
 
-// Start schedules the first arrival, if any.
+// NewSourceFeeder prepares a feeder pulling from a streaming source;
+// Start schedules the first arrival.
+func NewSourceFeeder(eng *sim.Engine, src workload.Source, deliver func(req workload.Request)) *Feeder {
+	return &Feeder{eng: eng, src: src, deliver: deliver}
+}
+
+// Start pulls the first request and schedules its arrival, if any.
 func (f *Feeder) Start() {
-	if len(f.reqs) == 0 {
+	f.pending, f.ok = f.src.Next()
+	if !f.ok {
 		return
 	}
+	f.schedule()
+}
+
+// schedule (re)arms the arrival handle at the lookahead's arrival time.
+func (f *Feeder) schedule() {
 	if !f.registered {
 		f.h = f.eng.Register(f.event)
 		f.registered = true
 	}
-	f.eng.Reschedule(f.h, f.reqs[0].Arrival)
+	f.eng.Reschedule(f.h, f.pending.Arrival)
 }
 
-// Remaining reports how many requests have not yet arrived.
-func (f *Feeder) Remaining() int { return len(f.reqs) - f.next }
+// Remaining reports how many requests have not yet arrived. For sources
+// of unknown length it reports 1 while the stream has more; consumers
+// use it only as a has-more predicate and a capacity hint. A drained
+// lookahead on a completion-aware source still counts as more until the
+// source is Exhausted: with requests in flight, a completion may spawn
+// new arrivals, and periodic machinery (policy ticks) must stay alive
+// for them.
+func (f *Feeder) Remaining() int {
+	if !f.ok {
+		if ca, aware := f.src.(workload.CompletionAware); aware && !ca.Exhausted() {
+			return 1
+		}
+		return 0
+	}
+	if n := f.src.Len(); n >= 0 {
+		return n + 1
+	}
+	return 1
+}
 
 func (f *Feeder) event() {
-	req := f.reqs[f.next]
-	f.next++
-	if f.next < len(f.reqs) {
-		f.eng.Reschedule(f.h, f.reqs[f.next].Arrival)
+	req := f.pending
+	f.pending, f.ok = f.src.Next()
+	if f.ok {
+		f.eng.Reschedule(f.h, f.pending.Arrival)
 	}
 	f.deliver(req)
+}
+
+// NotifyCompletion forwards a completion to a completion-aware source
+// (closed-loop clients) and re-arms the arrival event, since the
+// completion may have spawned an arrival earlier than the current
+// lookahead — the lookahead is returned to the source and the earliest
+// pending arrival re-pulled. A no-op for ordinary sources.
+func (f *Feeder) NotifyCompletion(done sim.Time) {
+	ca, aware := f.src.(workload.CompletionAware)
+	if !aware {
+		return
+	}
+	ca.OnCompletion(done)
+	if f.ok {
+		ca.Requeue(f.pending)
+	}
+	f.pending, f.ok = f.src.Next()
+	if f.ok {
+		f.schedule()
+	} else if f.registered {
+		f.eng.Cancel(f.h)
+	}
 }

@@ -30,14 +30,25 @@ func (r Result) warm(warmupFrac float64) []Completion {
 	return r.Completions[skip:]
 }
 
-// TailNs returns the q-quantile response latency after warmup.
+// TailNs returns the q-quantile response latency after warmup. When the
+// completion log was streamed out (Config.DropCompletions) it falls back
+// to the aggregate response histogram, which covers the whole run —
+// warmup cannot be trimmed retroactively from a streamed run.
 func (r Result) TailNs(q, warmupFrac float64) float64 {
+	if len(r.Completions) == 0 && r.ResponseHist != nil {
+		return r.ResponseHist.Quantile(q)
+	}
 	return stats.Percentile(r.Responses(warmupFrac), q)
 }
 
 // ViolationFrac returns the fraction of post-warmup responses above
-// boundNs.
+// boundNs. Like TailNs it falls back to the aggregate histogram when the
+// completion log was streamed out (bucket-resolution estimate over the
+// whole run, no warmup trim).
 func (r Result) ViolationFrac(boundNs, warmupFrac float64) float64 {
+	if len(r.Completions) == 0 && r.ResponseHist != nil {
+		return r.ResponseHist.FracAbove(boundNs)
+	}
 	cs := r.warm(warmupFrac)
 	if len(cs) == 0 {
 		return 0
@@ -52,12 +63,19 @@ func (r Result) ViolationFrac(boundNs, warmupFrac float64) float64 {
 }
 
 // EnergyPerRequestJ returns active core energy per completed request — the
-// metric of the paper's Figs. 1a and 9b.
+// metric of the paper's Figs. 1a and 9b. Served counts completions even
+// when the log itself was streamed out.
 func (r Result) EnergyPerRequestJ() float64 {
-	if len(r.Completions) == 0 {
+	n := r.Served
+	if n == 0 {
+		// Hand-assembled Results may carry a completion log without the
+		// counter.
+		n = len(r.Completions)
+	}
+	if n == 0 {
 		return 0
 	}
-	return r.ActiveEnergyJ / float64(len(r.Completions))
+	return r.ActiveEnergyJ / float64(n)
 }
 
 // MeanActivePowerW returns active energy divided by total wall time — the

@@ -1,0 +1,8 @@
+//go:build race
+
+package queueing
+
+// raceTestBuild mirrors the race build tag: the race detector allocates
+// per instrumentation point, so allocs-per-request guards only hold on
+// uninstrumented builds.
+const raceTestBuild = true

@@ -3,6 +3,7 @@ package queueing
 import (
 	"rubik/internal/cpu"
 	"rubik/internal/sim"
+	"rubik/internal/stats"
 	"rubik/internal/workload"
 )
 
@@ -25,10 +26,31 @@ type Config struct {
 	// Result, used by the transient-response figures (1b, 10).
 	RecordTimeline bool
 	// ExpectedRequests hints how many requests the core will serve
-	// (typically the trace length), pre-sizing the completion log and the
-	// optional timelines so steady-state appends never reallocate. Purely
-	// a capacity hint: it never changes simulation results.
+	// (typically the trace or source length), pre-sizing the completion
+	// log and the optional timelines so steady-state appends never
+	// reallocate. Purely a capacity hint: it never changes simulation
+	// results. When the length is unknown (0 hint, streaming sources) the
+	// logs grow geometrically via append, so cost stays amortized O(1)
+	// per request.
 	ExpectedRequests int
+	// DropCompletions switches the core to streaming metrics: per-request
+	// records fold into a fixed-size response-latency histogram
+	// (Result.ResponseHist) instead of accumulating in
+	// Result.Completions, making memory independent of run length.
+	// Completion hooks and CompletionObserver policies still see every
+	// completion. Use for constant-memory runs of unbounded sources.
+	DropCompletions bool
+	// Deadline, when > 0, stops the simulation at that time if it has
+	// not drained by then — the termination bound for unbounded sources
+	// (n < 0 generators, uncapped closed-loop populations), which
+	// otherwise reschedule arrivals forever. Requests still in flight at
+	// the deadline are not completed. A run that drains earlier is
+	// completely unaffected (the deadline is a pure safety bound), so it
+	// is safe to set always. 0 (the default) runs to drain. Honored by
+	// the Run/RunSource entry points here and in cluster (coloc has its
+	// own CoreConfig.Deadline); assemblies driving a Core directly bound
+	// the run themselves via sim.Engine.RunUntilOrDrain.
+	Deadline sim.Time
 }
 
 // FreqSample marks a frequency change: the core runs at MHz from T onward.
@@ -80,6 +102,13 @@ type Completion struct {
 type Result struct {
 	Policy      string
 	Completions []Completion
+	// Served counts completed requests — equal to len(Completions) unless
+	// Config.DropCompletions streamed the records out.
+	Served int
+	// ResponseHist is the streaming response-latency histogram, populated
+	// only under Config.DropCompletions; TailNs falls back to it when the
+	// completion log is empty.
+	ResponseHist *stats.LogHistogram
 	// ActiveEnergyJ is core energy while serving requests; IdleEnergyJ is
 	// sleep energy between them. The paper's core power/energy figures use
 	// active energy only (Fig. 9b: fixed-frequency energy/request is flat
@@ -99,21 +128,40 @@ type Result struct {
 }
 
 // Run simulates the trace under the policy on a dedicated single-core
-// engine and returns the result. It is a thin assembly of the shared Core:
-// a Feeder replays the trace, the policy's Ticker (if any) is scheduled,
-// and the engine drains.
+// engine and returns the result. A materialized trace is just one Source:
+// Run is RunSource over the trace's stream, byte-identical to the
+// pre-streaming replay loop (the stream hints its length, so even the
+// completion-log presizing is identical).
 func Run(trace workload.Trace, p Policy, cfg Config) (Result, error) {
+	return RunSource(workload.NewTraceSource(trace), p, cfg)
+}
+
+// RunSource simulates a streaming request source under the policy on a
+// dedicated single-core engine. It is a thin assembly of the shared Core:
+// a Feeder pulls the source through one rescheduled arrival handle, the
+// policy's Ticker (if any) is scheduled, and the engine drains (or stops
+// at Config.Deadline). Nothing on this path materializes the stream, so
+// run length is bounded by time, not memory; pair an unbounded source
+// with Config.DropCompletions for constant memory and Config.Deadline
+// for termination. Completion-aware sources (closed-loop clients) are
+// fed every completion.
+func RunSource(src workload.Source, p Policy, cfg Config) (Result, error) {
 	eng := sim.NewEngine()
 	if cfg.ExpectedRequests == 0 {
-		cfg.ExpectedRequests = len(trace.Requests)
+		if n := src.Len(); n > 0 {
+			cfg.ExpectedRequests = n
+		}
 	}
 	c, err := NewCore(eng, p, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	f := NewFeeder(eng, trace.Requests, c.Enqueue)
+	f := NewSourceFeeder(eng, src, c.Enqueue)
+	if _, aware := src.(workload.CompletionAware); aware {
+		c.SetHooks(Hooks{Completion: func(comp Completion) { f.NotifyCompletion(comp.Done) }})
+	}
 	f.Start()
 	c.StartTicks(func() bool { return f.Remaining() > 0 })
-	eng.Run()
+	eng.RunUntilOrDrain(cfg.Deadline)
 	return c.Finalize(), nil
 }

@@ -200,6 +200,30 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
+// RunUntilOrDrain executes events until the queue drains or the clock
+// reaches the deadline t, whichever comes first. A run that drains below
+// the deadline keeps Run's end-of-run clock — the deadline is a pure
+// safety bound that never perturbs a terminating simulation's results —
+// while a run cut off at t matches RunUntil. t <= 0 means no deadline.
+func (e *Engine) RunUntilOrDrain(t Time) {
+	if t <= 0 {
+		e.Run()
+		return
+	}
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if len(e.heap) == 0 {
+		if e.now < e.phantom {
+			e.now = e.phantom
+		}
+		return
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
 // less orders entries by (time, scheduling order). seq is unique, so the
 // order is total and the heap arity cannot affect firing order.
 func less(a, b entry) bool {

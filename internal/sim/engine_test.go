@@ -322,3 +322,43 @@ func TestEngineMonotonicClockProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunUntilOrDrain(t *testing.T) {
+	// Drains below the deadline: clock must match Run exactly.
+	a, b := NewEngine(), NewEngine()
+	for _, e := range []*Engine{a, b} {
+		e := e
+		h := e.Register(func() {})
+		e.Reschedule(h, 100)
+		e.After(250, func() { e.Reschedule(h, 400) })
+	}
+	a.Run()
+	b.RunUntilOrDrain(1_000_000)
+	if a.Now() != b.Now() {
+		t.Fatalf("drained clock %d != Run clock %d", b.Now(), a.Now())
+	}
+
+	// Cut off at the deadline: matches RunUntil.
+	d := NewEngine()
+	// Self-rescheduling event: unbounded stream analogue.
+	var dh Handle
+	dfired := 0
+	dh = d.Register(func() { dfired++; d.RescheduleAfter(dh, 10) })
+	d.Reschedule(dh, 10)
+	d.RunUntilOrDrain(105)
+	if dfired != 10 {
+		t.Fatalf("fired %d events before the deadline, want 10", dfired)
+	}
+	if d.Now() != 105 {
+		t.Fatalf("cut-off clock %d, want the deadline 105", d.Now())
+	}
+
+	// t <= 0 means no deadline.
+	e := NewEngine()
+	ran := false
+	e.After(50, func() { ran = true })
+	e.RunUntilOrDrain(0)
+	if !ran || e.Now() != 50 {
+		t.Fatalf("t=0 must drain: ran=%v now=%d", ran, e.Now())
+	}
+}

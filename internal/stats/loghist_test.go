@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogHistogramValidation(t *testing.T) {
+	if _, err := NewLogHistogram(0, 10, 8); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := NewLogHistogram(10, 10, 8); err == nil {
+		t.Error("hi=lo accepted")
+	}
+	if _, err := NewLogHistogram(1, 10, 0); err == nil {
+		t.Error("perDecade=0 accepted")
+	}
+}
+
+// TestLogHistogramQuantileAccuracy pins the quantile estimate against the
+// exact nearest-rank percentile within the bucket relative width.
+func TestLogHistogramQuantileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	h := NewResponseHistogram()
+	vals := make([]float64, 50000)
+	for i := range vals {
+		// Lognormal spanning ~3 decades, like response latencies.
+		vals[i] = 1e6 * math.Exp(r.NormFloat64()*1.2)
+		h.Observe(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := Percentile(vals, q)
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.08 {
+			t.Errorf("q=%.2f: hist %.0f vs exact %.0f (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+	if h.Count() != 50000 {
+		t.Errorf("count %d", h.Count())
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if mean := h.Mean(); math.Abs(mean-sum/50000) > 1e-6*sum/50000 {
+		t.Errorf("mean %.3f vs %.3f", mean, sum/50000)
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewResponseHistogram()
+	if h.Quantile(0.95) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+	h.Observe(-5) // underflow
+	h.Observe(1)  // underflow (below 100 ns floor)
+	if got := h.Quantile(0.5); got != 100 {
+		t.Errorf("underflow quantile %v, want the floor 100", got)
+	}
+	h.Observe(1e15) // overflow
+	if got := h.Quantile(1.0); got < 1e12 {
+		t.Errorf("overflow quantile %v, want the top edge", got)
+	}
+}
+
+func TestLogHistogramFracAbove(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	h := NewResponseHistogram()
+	vals := make([]float64, 20000)
+	for i := range vals {
+		vals[i] = 1e6 * math.Exp(r.NormFloat64())
+		h.Observe(vals[i])
+	}
+	for _, bound := range []float64{3e5, 1e6, 5e6} {
+		exact := 0
+		for _, v := range vals {
+			if v > bound {
+				exact++
+			}
+		}
+		want := float64(exact) / float64(len(vals))
+		got := h.FracAbove(bound)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("FracAbove(%g) = %.4f, exact %.4f", bound, got, want)
+		}
+	}
+	if got := h.FracAbove(1); got != 1 {
+		t.Errorf("below-range bound: %v, want 1", got)
+	}
+	if got := h.FracAbove(1e13); got != 0 {
+		t.Errorf("above-range bound: %v, want 0", got)
+	}
+	var empty LogHistogram
+	if empty.FracAbove(1) != 0 {
+		t.Error("empty FracAbove must be 0")
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a, b, both := NewResponseHistogram(), NewResponseHistogram(), NewResponseHistogram()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		v := 1e5 * math.Exp(r.NormFloat64())
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d vs %d", a.Count(), both.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("q=%.2f: merged %v vs pooled %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	other, err := NewLogHistogram(1, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(other); err == nil {
+		t.Error("merging different geometries should fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}

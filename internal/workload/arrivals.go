@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -81,4 +82,142 @@ func (s StepLoad) rateAt(t sim.Time) float64 {
 // not modeled; this matches how the paper's client steps QPS.)
 func (s StepLoad) NextGap(r *rand.Rand, now sim.Time) sim.Time {
 	return Poisson{RatePerSec: s.rateAt(now)}.NextGap(r, now)
+}
+
+// MMPP is a Markov-modulated Poisson process: arrivals are Poisson at the
+// current state's rate, and the state holds for an exponentially
+// distributed time before moving to the next (cyclically). Two states —
+// a calm one and a hot one — give the classic bursty on/off load that
+// stresses reactive power managers far more than stationary Poisson.
+// MMPP is stateful: do not share one instance between live sources.
+type MMPP struct {
+	// States are visited cyclically; each holds for Exp(MeanHold).
+	States []MMPPState
+
+	cur      int
+	stateEnd sim.Time
+	primed   bool
+}
+
+// MMPPState is one rate regime of an MMPP.
+type MMPPState struct {
+	// RatePerSec is the Poisson arrival rate while in this state.
+	RatePerSec float64
+	// MeanHold is the mean sojourn time in this state.
+	MeanHold sim.Time
+}
+
+// NewBurstyMMPP builds the standard two-state burst model: baseRate with
+// burst episodes at burstFactor times the base rate. meanCalm and
+// meanBurst are the mean state sojourn times.
+func NewBurstyMMPP(baseRate, burstFactor float64, meanCalm, meanBurst sim.Time) *MMPP {
+	return &MMPP{States: []MMPPState{
+		{RatePerSec: baseRate, MeanHold: meanCalm},
+		{RatePerSec: baseRate * burstFactor, MeanHold: meanBurst},
+	}}
+}
+
+// NextGap advances the state machine past now and samples a gap at the
+// current state's rate. (As with StepLoad, a gap is sampled wholly from
+// the rate in effect when it begins.)
+func (m *MMPP) NextGap(r *rand.Rand, now sim.Time) sim.Time {
+	if len(m.States) == 0 {
+		return Poisson{}.NextGap(r, now)
+	}
+	if !m.primed {
+		m.primed = true
+		m.stateEnd = m.holdFrom(r, 0)
+	}
+	for now >= m.stateEnd {
+		m.cur = (m.cur + 1) % len(m.States)
+		m.stateEnd += m.holdFrom(r, m.cur)
+	}
+	return Poisson{RatePerSec: m.States[m.cur].RatePerSec}.NextGap(r, now)
+}
+
+// holdFrom samples a sojourn time for state i.
+func (m *MMPP) holdFrom(r *rand.Rand, i int) sim.Time {
+	h := sim.Time(r.ExpFloat64() * float64(m.States[i].MeanHold))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// ResetProcess rewinds the state machine (GenSource.Reset calls this).
+func (m *MMPP) ResetProcess() {
+	m.cur = 0
+	m.stateEnd = 0
+	m.primed = false
+}
+
+// Sinusoid is a diurnal load curve: a Poisson process whose rate follows
+// Base·(1 + Amplitude·sin(2π·t/Period + Phase)), clamped at a small
+// positive floor. With Period scaled down to simulation timescales it
+// reproduces the day/night swings datacenter power managers ride.
+type Sinusoid struct {
+	// BaseRate is the mean arrival rate (requests/second).
+	BaseRate float64
+	// Amplitude is the relative swing (0..1: 0.8 means ±80% of Base).
+	Amplitude float64
+	// Period is the cycle length.
+	Period sim.Time
+	// Phase offsets the cycle start (radians).
+	Phase float64
+}
+
+// rateAt returns the instantaneous rate at time t. A non-positive Period
+// degenerates to the constant base rate (guards the NaN a zero Period
+// would otherwise inject into the gap sampler).
+func (s Sinusoid) rateAt(t sim.Time) float64 {
+	if s.Period <= 0 {
+		return s.BaseRate
+	}
+	rate := s.BaseRate * (1 + s.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(s.Period)+s.Phase))
+	if floor := s.BaseRate * 1e-3; rate < floor {
+		rate = floor
+	}
+	return rate
+}
+
+// NextGap samples a gap at the instantaneous rate (rate drift over one
+// gap is negligible when Period spans many interarrivals).
+func (s Sinusoid) NextGap(r *rand.Rand, now sim.Time) sim.Time {
+	return Poisson{RatePerSec: s.rateAt(now)}.NextGap(r, now)
+}
+
+// FlashCrowd is a Poisson process with one spike episode: rate jumps to
+// Peak×Base at Start, holds for Hold, then decays exponentially back
+// toward the base rate with time constant Decay — the flash-crowd /
+// breaking-news shape that latency SLOs are hardest to hold through.
+type FlashCrowd struct {
+	// BaseRate is the pre/post-spike rate (requests/second).
+	BaseRate float64
+	// Peak is the spike multiplier (e.g. 4 = 4x base at the crest).
+	Peak float64
+	// Start is when the spike hits; Hold is the full-rate plateau.
+	Start, Hold sim.Time
+	// Decay is the exponential recovery time constant.
+	Decay sim.Time
+}
+
+// rateAt returns the instantaneous rate at time t.
+func (f FlashCrowd) rateAt(t sim.Time) float64 {
+	switch {
+	case t < f.Start:
+		return f.BaseRate
+	case t < f.Start+f.Hold:
+		return f.BaseRate * f.Peak
+	default:
+		if f.Decay <= 0 {
+			return f.BaseRate
+		}
+		excess := (f.Peak - 1) * math.Exp(-float64(t-f.Start-f.Hold)/float64(f.Decay))
+		return f.BaseRate * (1 + excess)
+	}
+}
+
+// NextGap samples a gap at the instantaneous rate.
+func (f FlashCrowd) NextGap(r *rand.Rand, now sim.Time) sim.Time {
+	return Poisson{RatePerSec: f.rateAt(now)}.NextGap(r, now)
 }

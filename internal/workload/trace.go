@@ -136,18 +136,77 @@ func (t Trace) Describe(fMHz int) Stats {
 	return s
 }
 
+// Source streams the trace's requests: the bridge into the streaming
+// consumers (queueing.RunSource, cluster.RunSource), under which a replay
+// is byte-identical to the materialized path.
+func (t Trace) Source() *TraceSource { return NewTraceSource(t) }
+
 // Save writes the trace as JSON.
 func (t Trace) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(t)
 }
 
-// Load reads a trace written by Save and validates its invariants
-// (non-decreasing arrivals, positive work).
+// SaveJSONL writes the trace as JSON Lines: a header object carrying the
+// trace metadata followed by one request object per line. Unlike Save it
+// never buffers the request set in the encoder, and WriteJSONL can
+// produce the same format directly from a Source without materializing a
+// trace at all. Load reads both formats.
+func (t Trace) SaveJSONL(w io.Writer) error {
+	_, err := WriteJSONL(w, t.App, t.Seed, NewTraceSource(t), -1)
+	return err
+}
+
+// jsonlHeader is the first line of a JSONL trace file.
+type jsonlHeader struct {
+	App  string `json:"app"`
+	Seed int64  `json:"seed"`
+}
+
+// WriteJSONL streams up to n requests (n < 0: until exhaustion) from a
+// source to w in the JSONL trace format, holding one request at a time —
+// arbitrarily long scenario exports in constant memory. It returns the
+// number of requests written, which can fall short of n when the source
+// drains early (notably closed-loop sources, which yield only their
+// open-loop prefix without completion feedback).
+func WriteJSONL(w io.Writer, app string, seed int64, src Source, n int) (int, error) {
+	if n < 0 && src.Len() < 0 {
+		return 0, fmt.Errorf("workload: exporting a source of unknown length needs an explicit request cap")
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonlHeader{App: app, Seed: seed}); err != nil {
+		return 0, fmt.Errorf("workload: encoding JSONL header: %w", err)
+	}
+	written := 0
+	for n < 0 || written < n {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(req); err != nil {
+			return written, fmt.Errorf("workload: encoding request %d: %w", req.ID, err)
+		}
+		written++
+	}
+	return written, nil
+}
+
+// Load reads a trace written by Save or SaveJSONL/WriteJSONL and
+// validates its invariants (non-decreasing arrivals, positive work). Both
+// formats start with one JSON object carrying the metadata; the JSONL
+// form then streams one request object per value.
 func Load(rd io.Reader) (Trace, error) {
+	dec := json.NewDecoder(rd)
 	var t Trace
-	if err := json.NewDecoder(rd).Decode(&t); err != nil {
+	if err := dec.Decode(&t); err != nil {
 		return Trace{}, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	for dec.More() {
+		var r Request
+		if err := dec.Decode(&r); err != nil {
+			return Trace{}, fmt.Errorf("workload: decoding JSONL request %d: %w", len(t.Requests), err)
+		}
+		t.Requests = append(t.Requests, r)
 	}
 	var prev sim.Time
 	for i, r := range t.Requests {

@@ -16,6 +16,16 @@
 // (NewCluster, SimulateCluster), a datacenter fleet model, and one
 // experiment driver per table/figure of the paper.
 //
+// Request streams are pull-based Sources (StreamTrace, NewScenarioSource,
+// SimulateSource, SimulateClusterSource): a scenario registry provides
+// bursty MMPP, diurnal, flash-crowd, closed-loop and heavy-tailed shapes
+// beyond the paper's Poisson/step clients, and because nothing on the
+// streaming path materializes a trace, runs of tens of millions of
+// requests use constant memory (ServerConfig.DropCompletions folds
+// per-request records into a fixed-size latency histogram). A
+// materialized Trace is just one Source: replaying it streamed is
+// byte-identical to the classic path.
+//
 // # Quick start
 //
 //	app, _ := rubik.AppByName("masstree")
@@ -96,6 +106,19 @@ type (
 	Dispatcher = cluster.Dispatcher
 	// CoreState is the dispatcher-visible snapshot of one cluster core.
 	CoreState = cluster.CoreState
+	// Source is a pull-based request stream: the streaming counterpart of
+	// a Trace. Simulations consume sources without materializing them, so
+	// run length is bounded by time, not memory.
+	Source = workload.Source
+	// Scenario is a named arrival/service shape in the scenario registry
+	// (poisson, step, bursty, diurnal, flashcrowd, closedloop, heavytail,
+	// correlated).
+	Scenario = workload.Scenario
+	// ArrivalProcess generates interarrival gaps (Poisson, StepLoad,
+	// MMPP, Sinusoid, FlashCrowd).
+	ArrivalProcess = workload.ArrivalProcess
+	// ClosedLoop configures a closed-loop think-time client population.
+	ClosedLoop = workload.ClosedLoop
 )
 
 // NominalMHz is the nominal core frequency (2.4 GHz, paper Table 2).
@@ -121,6 +144,36 @@ func DefaultServerConfig() ServerConfig { return queueing.DefaultConfig() }
 // nominal-frequency capacity (1.0 = the maximum rate at 2.4 GHz).
 func GenerateTrace(app App, load float64, n int, seed int64) Trace {
 	return workload.GenerateAtLoad(app, load, n, seed)
+}
+
+// StreamTrace returns the streaming equivalent of GenerateTrace: a
+// Poisson source yielding the byte-identical request sequence for the
+// same arguments, one request at a time. n < 0 streams forever — bound
+// such runs with ServerConfig.Deadline (and DropCompletions for
+// constant memory).
+func StreamTrace(app App, load float64, n int, seed int64) Source {
+	return workload.NewLoadSource(app, load, n, seed)
+}
+
+// TraceSource streams a materialized trace; replaying it through
+// SimulateSource is byte-identical to Simulate on the trace.
+func TraceSource(tr Trace) Source { return workload.NewTraceSource(tr) }
+
+// Scenarios lists the registered arrival/service scenario shapes.
+func Scenarios() []Scenario { return workload.Scenarios() }
+
+// ScenarioByName looks a scenario up in the registry.
+func ScenarioByName(name string) (Scenario, error) { return workload.ScenarioByName(name) }
+
+// NewScenarioSource builds the named scenario's source for app at a mean
+// load fraction, capped at n requests (n < 0: unbounded where the shape
+// allows), deterministically per seed.
+func NewScenarioSource(name string, app App, load float64, n int, seed int64) (Source, error) {
+	sc, err := workload.ScenarioByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return sc.New(app, load, n, seed), nil
 }
 
 // TailBound measures the app's latency bound the way the paper defines it:
@@ -173,6 +226,20 @@ func SimulateWithConfig(tr Trace, p Policy, cfg ServerConfig) (Result, error) {
 	return queueing.Run(tr, p, cfg)
 }
 
+// SimulateSource streams a source through a policy on the default
+// simulated core. Set ServerConfig.DropCompletions (via
+// SimulateSourceWithConfig) for constant-memory runs of unbounded
+// streams.
+func SimulateSource(src Source, p Policy) (Result, error) {
+	return queueing.RunSource(src, p, queueing.DefaultConfig())
+}
+
+// SimulateSourceWithConfig streams a source through a policy with an
+// explicit core configuration.
+func SimulateSourceWithConfig(src Source, p Policy, cfg ServerConfig) (Result, error) {
+	return queueing.RunSource(src, p, cfg)
+}
+
 // NewCluster assembles a multi-core server configuration: cores cores on
 // one shared engine, each under a fresh policy from newPolicy, with the
 // dispatcher routing arrivals. A nil dispatcher means round-robin.
@@ -190,6 +257,19 @@ func NewCluster(cores int, d Dispatcher, newPolicy func(core int) (Policy, error
 // load scaled by the core count models N cores at a per-core load).
 func SimulateCluster(tr Trace, cfg ClusterConfig) (ClusterResult, error) {
 	return cluster.Run(tr, cfg)
+}
+
+// SimulateClusterSource streams a source through a simulated multi-core
+// server: the streaming SimulateCluster, byte-identical for a
+// TraceSource and constant-memory for generator sources.
+func SimulateClusterSource(src Source, cfg ClusterConfig) (ClusterResult, error) {
+	return cluster.RunSource(src, cfg)
+}
+
+// SimulateClusterPerCore runs cores with dedicated request streams (no
+// dispatcher): core i of the cluster serves srcs[i] exclusively.
+func SimulateClusterPerCore(srcs []Source, cfg ClusterConfig) (ClusterResult, error) {
+	return cluster.RunPerCoreSources(srcs, cfg)
 }
 
 // RandomDispatcher routes requests uniformly at random, reproducibly for

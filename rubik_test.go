@@ -2,6 +2,7 @@ package rubik_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -77,8 +78,8 @@ func TestFacadeStaticOracle(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(rubik.Experiments()) != 21 {
-		t.Fatalf("experiments = %d, want 21", len(rubik.Experiments()))
+	if len(rubik.Experiments()) != 22 {
+		t.Fatalf("experiments = %d, want 22", len(rubik.Experiments()))
 	}
 	var buf bytes.Buffer
 	opts := rubik.ExperimentOptions{Quick: true, Seed: 1}
@@ -150,5 +151,79 @@ func TestFacadeCluster(t *testing.T) {
 		if tail := res.TailNs(rubik.TailPercentile, 0.1); tail > bound*1.2 {
 			t.Errorf("%s: pooled p95 %.0f ns above bound %.0f ns", d.Name(), tail, bound)
 		}
+	}
+}
+
+func TestFacadeStreaming(t *testing.T) {
+	app, err := rubik.AppByName("masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Streamed Poisson == materialized trace, end to end via the facade.
+	tr := rubik.GenerateTrace(app, 0.5, 2000, 3)
+	want, err := rubik.Simulate(tr, rubik.Fixed(rubik.NominalMHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rubik.SimulateSource(rubik.StreamTrace(app, 0.5, 2000, 3), rubik.Fixed(rubik.NominalMHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("SimulateSource(StreamTrace) differs from Simulate(GenerateTrace)")
+	}
+	viaTrace, err := rubik.SimulateSource(rubik.TraceSource(tr), rubik.Fixed(rubik.NominalMHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaTrace, want) {
+		t.Fatal("SimulateSource(TraceSource) differs from Simulate")
+	}
+
+	// Scenario registry through the facade, constant-memory config.
+	if len(rubik.Scenarios()) < 6 {
+		t.Fatalf("scenario registry has %d entries", len(rubik.Scenarios()))
+	}
+	src, err := rubik.NewScenarioSource("diurnal", app, 0.5, 3000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rubik.DefaultServerConfig()
+	cfg.DropCompletions = true
+	res, err := rubik.SimulateSourceWithConfig(src, rubik.Fixed(rubik.NominalMHz), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 3000 || len(res.Completions) != 0 {
+		t.Fatalf("streamed run served %d, retained %d", res.Served, len(res.Completions))
+	}
+	if res.TailNs(rubik.TailPercentile, 0) <= 0 {
+		t.Fatal("streamed tail missing")
+	}
+	if _, err := rubik.NewScenarioSource("nope", app, 0.5, 10, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+
+	// Cluster streaming: shared source and per-core sources.
+	ccfg := rubik.NewCluster(2, rubik.JSQDispatcher(), func(int) (rubik.Policy, error) {
+		return rubik.Fixed(rubik.NominalMHz), nil
+	})
+	cres, err := rubik.SimulateClusterSource(rubik.StreamTrace(app, 0.5*2, 2000, 4), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cres.PerCore[0].Completions) + len(cres.PerCore[1].Completions); got != 2000 {
+		t.Fatalf("cluster streamed %d of 2000", got)
+	}
+	pres, err := rubik.SimulateClusterPerCore([]rubik.Source{
+		rubik.StreamTrace(app, 0.4, 500, 1),
+		rubik.StreamTrace(app, 0.6, 700, 2),
+	}, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Routed[0] != 500 || pres.Routed[1] != 700 {
+		t.Fatalf("per-core routing %v", pres.Routed)
 	}
 }
