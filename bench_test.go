@@ -219,6 +219,28 @@ func BenchmarkClusterSimulate(b *testing.B) {
 	}
 }
 
+// BenchmarkCappedCluster measures the same 6-core Rubik cluster as
+// BenchmarkClusterSimulate under a binding 27 W socket budget with
+// waterfill allocation. The per-decision allocator path is allocation-free
+// (Domain-owned scratch, O(1) unchanged-demand fast path), so the delta to
+// BenchmarkClusterSimulate is the pure coordination cost — the target is
+// ≤10% ms/op and no per-decision allocations.
+func BenchmarkCappedCluster(b *testing.B) {
+	app := workload.Masstree()
+	tr := workload.GenerateAtLoad(app, 0.5*6, 12000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := rubik.NewCappedCluster(6, rubik.JSQDispatcher(), 27, rubik.WaterfillAllocator(),
+			func(int) (rubik.Policy, error) {
+				return rubik.NewController(500_000)
+			})
+		if _, err := rubik.SimulateCluster(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchWorkers runs the clusterscale sweep at a fixed fan-out, so the
 // sequential-vs-parallel speedup of the experiment runner is measurable
 // in the bench trajectory (compare ClusterScaleSequential to

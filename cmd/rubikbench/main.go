@@ -194,6 +194,20 @@ var benches = []struct {
 			}
 		}
 	}},
+	{"CappedCluster", func(b *testing.B) {
+		tr := workload.GenerateAtLoad(workload.Masstree(), 0.5*6, 12000, 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := rubik.NewCappedCluster(6, rubik.JSQDispatcher(), 27, rubik.WaterfillAllocator(),
+				func(int) (rubik.Policy, error) {
+					return rubik.NewController(500_000)
+				})
+			if _, err := rubik.SimulateCluster(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
 	{"Engine", func(b *testing.B) {
 		eng := sim.NewEngine()
 		const handles = 16

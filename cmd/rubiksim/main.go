@@ -7,6 +7,7 @@
 //	rubiksim -exp fig6             run one experiment at paper fidelity
 //	rubiksim -exp all -quick       smoke-run everything with small traces
 //	rubiksim -exp fig9 -out fig9.txt
+//	rubiksim -cap 24 -allocator waterfill    one capped 6-core cluster run
 package main
 
 import (
@@ -16,17 +17,64 @@ import (
 	"os"
 	"time"
 
+	"rubik"
 	"rubik/internal/experiments"
 )
 
+// runCapped performs a single capped 6-core cluster run (per-core Rubik,
+// JSQ dispatch, bursty traffic) and prints the pooled tails plus the
+// power-domain accounting — the quick way to poke at a cap level and
+// allocator without running the full capping experiment sweep.
+func runCapped(w io.Writer, capW float64, allocator string, quick bool, seed int64) error {
+	alloc, err := rubik.AllocatorByName(allocator)
+	if err != nil {
+		return err
+	}
+	app, err := rubik.AppByName("masstree")
+	if err != nil {
+		return err
+	}
+	bound, err := rubik.TailBound(app, seed)
+	if err != nil {
+		return err
+	}
+	const cores = 6
+	n := app.Requests * cores
+	if quick && n > 2400*cores {
+		n = 2400 * cores
+	}
+	src, err := rubik.NewScenarioSource("bursty", app, 0.5*cores, n, seed)
+	if err != nil {
+		return err
+	}
+	cfg := rubik.NewCappedCluster(cores, rubik.JSQDispatcher(), capW, alloc,
+		func(int) (rubik.Policy, error) { return rubik.NewController(bound) })
+	res, err := rubik.SimulateClusterSource(src, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "capped cluster: %d cores, %s, cap %.1f W, bursty masstree, %d requests\n",
+		cores, alloc.Name(), capW, res.Served())
+	fmt.Fprintf(w, "  p95 %.3f ms  p99 %.3f ms  (bound %.3f ms)  %.3f mJ/request\n",
+		res.TailNs(0.95, 0.1)/1e6, res.TailNs(0.99, 0.1)/1e6, bound/1e6,
+		res.EnergyPerRequestJ()*1e3)
+	for i, d := range res.Capping {
+		fmt.Fprintf(w, "  domain %d (cores %v): %d rounds, %d throttled, peak %.1f W, avg %.1f W, cap exceeded %.3f ms\n",
+			i, d.Cores, d.Rounds, d.ThrottleEvents, d.PeakPowerW, d.AvgPowerW, float64(d.CapExceededNs)/1e6)
+	}
+	return nil
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID to run (see -list), or \"all\"")
-		list    = flag.Bool("list", false, "list available experiments")
-		quick   = flag.Bool("quick", false, "reduced request counts (smoke mode)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		out     = flag.String("out", "", "write output to this file instead of stdout")
-		workers = flag.Int("workers", 0, "parallel simulation fan-out (0 = GOMAXPROCS, 1 = sequential)")
+		exp       = flag.String("exp", "", "experiment ID to run (see -list), or \"all\"")
+		list      = flag.Bool("list", false, "list available experiments")
+		quick     = flag.Bool("quick", false, "reduced request counts (smoke mode)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		out       = flag.String("out", "", "write output to this file instead of stdout")
+		workers   = flag.Int("workers", 0, "parallel simulation fan-out (0 = GOMAXPROCS, 1 = sequential)")
+		capW      = flag.Float64("cap", 0, "run one capped 6-core cluster at this socket budget (W) instead of an experiment")
+		allocator = flag.String("allocator", "waterfill", "budget allocator for -cap (uniform, greedy-slack, waterfill)")
 	)
 	flag.Parse()
 
@@ -36,7 +84,7 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
+	if *capW <= 0 && *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -50,6 +98,14 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *capW > 0 {
+		if err := runCapped(w, *capW, *allocator, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rubiksim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}

@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rubik/internal/capping"
+	"rubik/internal/queueing"
+	"rubik/internal/sim"
+)
+
+// domainCtl runs one power domain's allocation rounds: it intercepts every
+// member policy decision, reconciles the domain's desired frequencies
+// through the allocator, actuates sibling grant changes, and keeps the
+// time-weighted budget accounting. All slices are sized at construction,
+// so a steady-state decision performs zero allocations.
+//
+// Rounds run when a member's desired grid step changes (the initial round
+// runs at t=0 over every member's InitialMHz). A decision that repeats the
+// member's previous desired step is O(1): demands are unchanged, so the
+// previous grants still satisfy the budget. The deciding member's slack
+// estimate is refreshed when its round runs; siblings keep the estimate
+// from their own last change — slack steers *which* core donates, never
+// whether the budget holds, so staleness cannot break the cap.
+type domainCtl struct {
+	eng   *sim.Engine
+	dom   *capping.Domain
+	alloc capping.Allocator
+
+	cores   []*queueing.Core // member cores, attached after buildCores
+	idx     []int            // member -> cluster core index
+	demands []capping.Demand
+	grants  []int
+	granted []int // last actuated grant per member
+
+	stats    capping.DomainStats
+	lastT    sim.Time
+	curSumW  float64
+	powerWNs float64 // time integral of granted power (W * ns)
+	exceed   bool
+}
+
+// decide is the per-decision entry point: member's policy asked for
+// desiredMHz. It returns the member's granted frequency in MHz (which the
+// member core actuates itself via the policy return path) and actuates
+// any sibling grant changes directly. The slack reporter is only
+// consulted when a full allocation round runs — predicting slack walks
+// the member's queue, and a decision that repeats the previous desired
+// step resolves O(1) without it.
+func (ctl *domainCtl) decide(member int, desiredMHz int, slack queueing.SlackReporter, v queueing.View) int {
+	grid := ctl.dom.Grid()
+	dIdx := grid.Index(desiredMHz)
+	if dIdx < 0 {
+		dIdx = grid.Index(grid.ClampUp(float64(desiredMHz)))
+	}
+	if dIdx == ctl.demands[member].DesiredIdx {
+		// Demand unchanged: the previous allocation still holds.
+		return grid.Step(ctl.granted[member])
+	}
+	ctl.demands[member].DesiredIdx = dIdx
+	if slack != nil {
+		ctl.demands[member].SlackNs = slack.PredictedSlackNs(v)
+	}
+	ctl.reallocate()
+	return grid.Step(ctl.granted[member])
+}
+
+// reallocate runs one allocation round and actuates every changed grant,
+// the deciding member's included — its policy return path then applies
+// the same frequency again, which is a no-op (ApplyFreq is idempotent
+// for an unchanged target, and switchPending guards the latency path).
+func (ctl *domainCtl) reallocate() {
+	ctl.accrueStats()
+	ctl.alloc.Allocate(ctl.dom, ctl.demands, ctl.grants)
+	ctl.stats.Rounds++
+	throttled := false
+	grid := ctl.dom.Grid()
+	for m, g := range ctl.grants {
+		if g < ctl.demands[m].DesiredIdx {
+			throttled = true
+		}
+		if g == ctl.granted[m] {
+			continue
+		}
+		ctl.granted[m] = g
+		if c := ctl.cores[m]; c != nil {
+			// Bring the sibling's progress up to now before retargeting:
+			// ApplyFreq with zero transition latency switches immediately,
+			// and accrued spans must never straddle a frequency change.
+			c.Accrue()
+			c.ApplyFreq(grid.Step(g))
+		}
+	}
+	if throttled {
+		ctl.stats.ThrottleEvents++
+	}
+	sum := ctl.dom.PowerOf(ctl.grants)
+	ctl.curSumW = sum
+	ctl.exceed = sum > ctl.dom.CapW()
+	if sum > ctl.stats.PeakPowerW {
+		ctl.stats.PeakPowerW = sum
+	}
+}
+
+// accrueStats closes the accounting span ending now.
+func (ctl *domainCtl) accrueStats() {
+	now := ctl.eng.Now()
+	dt := now - ctl.lastT
+	if dt <= 0 {
+		return
+	}
+	ctl.lastT = now
+	ctl.powerWNs += ctl.curSumW * float64(dt)
+	if ctl.exceed {
+		ctl.stats.CapExceededNs += dt
+	}
+}
+
+// finalize closes the trailing span and returns the domain stats.
+func (ctl *domainCtl) finalize() capping.DomainStats {
+	ctl.accrueStats()
+	if end := ctl.eng.Now(); end > 0 {
+		ctl.stats.AvgPowerW = ctl.powerWNs / float64(end)
+	}
+	return ctl.stats
+}
+
+// cappedPolicy filters one member core's policy through its domain
+// controller. It forwards Name (results stay labeled by the inner policy),
+// ticks and completion observations, and is fully transparent when the cap
+// never binds: grants equal desires, no sibling is touched, and the
+// decision sequence is identical to the unwrapped run.
+type cappedPolicy struct {
+	inner  queueing.Policy
+	ticker queueing.Ticker             // inner as Ticker, nil if not one
+	obs    queueing.CompletionObserver // inner as observer, nil if not one
+	slack  queueing.SlackReporter      // inner as reporter, nil if not one
+	ctl    *domainCtl
+	member int
+}
+
+func newCappedPolicy(inner queueing.Policy, ctl *domainCtl, member int) *cappedPolicy {
+	p := &cappedPolicy{inner: inner, ctl: ctl, member: member}
+	p.ticker, _ = inner.(queueing.Ticker)
+	p.obs, _ = inner.(queueing.CompletionObserver)
+	p.slack, _ = inner.(queueing.SlackReporter)
+	return p
+}
+
+// Name implements queueing.Policy.
+func (p *cappedPolicy) Name() string { return p.inner.Name() }
+
+// OnEvent implements queueing.Policy.
+func (p *cappedPolicy) OnEvent(v queueing.View) int {
+	return p.filter(p.inner.OnEvent(v), v)
+}
+
+// TickEvery implements queueing.Ticker; 0 (no ticking) when the inner
+// policy is not a Ticker, which Core.StartTicks treats as absent.
+func (p *cappedPolicy) TickEvery() sim.Time {
+	if p.ticker == nil {
+		return 0
+	}
+	return p.ticker.TickEvery()
+}
+
+// OnTick implements queueing.Ticker.
+func (p *cappedPolicy) OnTick(v queueing.View) int {
+	if p.ticker == nil {
+		return 0
+	}
+	return p.filter(p.ticker.OnTick(v), v)
+}
+
+// ObserveCompletion implements queueing.CompletionObserver.
+func (p *cappedPolicy) ObserveCompletion(c queueing.Completion) {
+	if p.obs != nil {
+		p.obs.ObserveCompletion(c)
+	}
+}
+
+// filter routes a desired frequency through the domain controller. A
+// non-positive desire means "keep the current setting" and passes through
+// untouched, exactly as the core itself treats it.
+func (p *cappedPolicy) filter(desired int, v queueing.View) int {
+	if desired <= 0 {
+		return desired
+	}
+	return p.ctl.decide(p.member, desired, p.slack, v)
+}
+
+// cappedSetup carries the capping wiring between config validation (before
+// the cores exist) and attachment (after).
+type cappedSetup struct {
+	ctls []*domainCtl
+}
+
+// wireCapping validates the capping configuration and, when a cap is set,
+// wraps cfg.NewPolicy so every member core's decisions flow through its
+// domain controller. It returns nil when CapW is 0 (unset): the config is
+// untouched and the run is byte-identical to an uncapped cluster. Call
+// attach with the built cores afterwards.
+func wireCapping(eng *sim.Engine, cfg *Config) (*cappedSetup, error) {
+	if cfg.CapW == 0 {
+		if len(cfg.PowerDomains) > 0 {
+			return nil, fmt.Errorf("cluster: PowerDomains set without CapW")
+		}
+		return nil, nil
+	}
+	if cfg.CapW < 0 {
+		return nil, fmt.Errorf("cluster: negative power cap %v W", cfg.CapW)
+	}
+	domains := cfg.PowerDomains
+	if len(domains) == 0 {
+		// Default: one domain (socket) spanning every core.
+		all := make([]int, cfg.Cores)
+		for i := range all {
+			all[i] = i
+		}
+		domains = [][]int{all}
+	}
+	alloc := cfg.Allocator
+	if alloc == nil {
+		alloc = capping.Waterfill{}
+	}
+	seen := make([]bool, cfg.Cores)
+	setup := &cappedSetup{}
+	memberOf := make(map[int]*cappedMembership, cfg.Cores)
+	for di, members := range domains {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("cluster: power domain %d is empty", di)
+		}
+		dom, err := capping.NewDomain(cfg.Core.Grid, cfg.Core.Power, cfg.CapW, len(members))
+		if err != nil {
+			return nil, err
+		}
+		ctl := &domainCtl{
+			eng:     eng,
+			dom:     dom,
+			alloc:   alloc,
+			cores:   make([]*queueing.Core, len(members)),
+			idx:     make([]int, len(members)),
+			demands: make([]capping.Demand, len(members)),
+			grants:  make([]int, len(members)),
+			granted: make([]int, len(members)),
+		}
+		ctl.stats = capping.DomainStats{
+			Cores:     append([]int(nil), members...),
+			CapW:      cfg.CapW,
+			Allocator: alloc.Name(),
+		}
+		for m, core := range members {
+			if core < 0 || core >= cfg.Cores {
+				return nil, fmt.Errorf("cluster: power domain %d member %d out of range [0,%d)", di, core, cfg.Cores)
+			}
+			if seen[core] {
+				return nil, fmt.Errorf("cluster: core %d appears in more than one power domain", core)
+			}
+			seen[core] = true
+			ctl.idx[m] = core
+			memberOf[core] = &cappedMembership{ctl: ctl, member: m}
+		}
+		setup.ctls = append(setup.ctls, ctl)
+	}
+
+	inner := cfg.NewPolicy
+	cfg.NewPolicy = func(core int) (queueing.Policy, error) {
+		p, err := inner(core)
+		if err != nil {
+			return nil, err
+		}
+		ms, ok := memberOf[core]
+		if !ok {
+			return p, nil // outside every domain: uncapped
+		}
+		return newCappedPolicy(p, ms.ctl, ms.member), nil
+	}
+	return setup, nil
+}
+
+type cappedMembership struct {
+	ctl    *domainCtl
+	member int
+}
+
+// attach hands each domain its member cores and runs the initial
+// allocation round at t=0 over the cores' initial frequencies, so the cap
+// holds from the first instant (with a binding cap, cores start throttled
+// rather than briefly overshooting at InitialMHz).
+func (s *cappedSetup) attach(cores []*queueing.Core) {
+	if s == nil {
+		return
+	}
+	for _, ctl := range s.ctls {
+		grid := ctl.dom.Grid()
+		for m, core := range ctl.idx {
+			c := cores[core]
+			ctl.cores[m] = c
+			ctl.demands[m] = capping.Demand{DesiredIdx: grid.Index(c.CurrentMHz())}
+			ctl.granted[m] = ctl.demands[m].DesiredIdx
+		}
+		ctl.reallocate()
+	}
+}
+
+// domainStats finalizes every domain's accounting (nil-safe; nil when the
+// run was uncapped).
+func (s *cappedSetup) domainStats() []capping.DomainStats {
+	if s == nil {
+		return nil
+	}
+	out := make([]capping.DomainStats, len(s.ctls))
+	for i, ctl := range s.ctls {
+		out[i] = ctl.finalize()
+	}
+	return out
+}

@@ -15,6 +15,7 @@ package cluster
 import (
 	"fmt"
 
+	"rubik/internal/capping"
 	"rubik/internal/queueing"
 	"rubik/internal/sim"
 	"rubik/internal/stats"
@@ -32,6 +33,21 @@ type Config struct {
 	// NewPolicy builds the frequency policy for core i. Policies are
 	// stateful (Rubik profiles online), so every core needs a fresh one.
 	NewPolicy func(core int) (queueing.Policy, error)
+
+	// CapW, when > 0, runs the cluster under shared power budgets: every
+	// power domain's cores have their per-core frequency choices filtered
+	// through Allocator so that the sum of granted active powers stays
+	// within CapW per domain (see internal/capping). 0 (the default) is
+	// completely uncapped — the run is byte-identical to a config without
+	// the capping fields.
+	CapW float64
+	// PowerDomains groups core indices into power domains (sockets), each
+	// budgeted at CapW. Nil with CapW set means one domain spanning every
+	// core. A core may belong to at most one domain; cores outside every
+	// domain run uncapped.
+	PowerDomains [][]int
+	// Allocator is the budget strategy (default: capping.Waterfill).
+	Allocator capping.Allocator
 }
 
 // DefaultConfig returns a 6-core server with round-robin dispatch and
@@ -58,6 +74,9 @@ type Result struct {
 	Routed []int
 	// EndTime is when the last event fired (all cores share the engine).
 	EndTime sim.Time
+	// Capping holds per-domain power budget accounting, in Config
+	// PowerDomains order. Nil when the run was uncapped (Config.CapW 0).
+	Capping []capping.DomainStats
 }
 
 // Completions pools all cores' completions ordered by completion time
@@ -237,13 +256,14 @@ func buildCores(eng *sim.Engine, cfg Config) ([]*queueing.Core, error) {
 	return cores, nil
 }
 
-// finalize assembles the per-core results.
-func finalize(eng *sim.Engine, cores []*queueing.Core, dispatcher string, routed []int) Result {
+// finalize assembles the per-core results and the capping accounting.
+func finalize(eng *sim.Engine, cores []*queueing.Core, dispatcher string, routed []int, capped *cappedSetup) Result {
 	res := Result{
 		Dispatcher: dispatcher,
 		PerCore:    make([]queueing.Result, len(cores)),
 		Routed:     routed,
 		EndTime:    eng.Now(),
+		Capping:    capped.domainStats(),
 	}
 	for i, c := range cores {
 		res.PerCore[i] = c.Finalize()
@@ -273,10 +293,15 @@ func RunSource(src workload.Source, cfg Config) (Result, error) {
 			cfg.Core.ExpectedRequests = (n + cfg.Cores - 1) / cfg.Cores
 		}
 	}
+	capped, err := wireCapping(eng, &cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	cores, err := buildCores(eng, cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	capped.attach(cores)
 
 	routed := make([]int, cfg.Cores)
 	states := make([]CoreState, cfg.Cores)
@@ -324,7 +349,7 @@ func RunSource(src workload.Source, cfg Config) (Result, error) {
 	if pickErr != nil {
 		return Result{}, pickErr
 	}
-	return finalize(eng, cores, cfg.Dispatcher.Name(), routed), nil
+	return finalize(eng, cores, cfg.Dispatcher.Name(), routed, capped), nil
 }
 
 // RunPerCoreSources simulates cores with dedicated request streams — no
@@ -349,10 +374,15 @@ func RunPerCoreSources(srcs []workload.Source, cfg Config) (Result, error) {
 		}
 		cfg.Core.ExpectedRequests = max
 	}
+	capped, err := wireCapping(eng, &cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	cores, err := buildCores(eng, cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	capped.attach(cores)
 
 	routed := make([]int, len(srcs))
 	feeds := make([]*queueing.Feeder, len(srcs))
@@ -376,5 +406,5 @@ func RunPerCoreSources(srcs []workload.Source, cfg Config) (Result, error) {
 		c.StartTicks(func() bool { return f.Remaining() > 0 })
 	}
 	eng.RunUntilOrDrain(cfg.Core.Deadline)
-	return finalize(eng, cores, "percore", routed), nil
+	return finalize(eng, cores, "percore", routed, capped), nil
 }

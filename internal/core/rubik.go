@@ -145,6 +145,7 @@ var (
 	_ queueing.Policy             = (*Rubik)(nil)
 	_ queueing.Ticker             = (*Rubik)(nil)
 	_ queueing.CompletionObserver = (*Rubik)(nil)
+	_ queueing.SlackReporter      = (*Rubik)(nil)
 )
 
 // New validates the configuration and returns a Rubik controller.
@@ -405,6 +406,38 @@ func (r *Rubik) minFreq(v queueing.View, row int, penaltyNs float64) (float64, b
 		}
 	}
 	return need, true
+}
+
+// PredictedSlackNs implements queueing.SlackReporter: the smallest tail
+// headroom across the queued requests at the core's *current* frequency —
+// how much slower the tightest constraint of paper Eq. 2 could finish and
+// still make the (feedback-adjusted) bound. Power-budget coordinators use
+// it to pick which cores donate frequency first under a binding cap. An
+// empty queue reports the headroom a fresh arrival would see; before the
+// first table build the slack is unknown and reported as 0, so capped
+// bootstrapping cores never volunteer to donate.
+func (r *Rubik) PredictedSlackNs(v queueing.View) float64 {
+	if r.table == nil {
+		return 0
+	}
+	f := float64(v.CurrentMHz)
+	if f <= 0 {
+		return 0
+	}
+	if len(v.Queue) == 0 {
+		c0, m0 := r.table.Lookup(0, 0)
+		return maxFloat(r.internalNs-m0-c0*1000/f, 0)
+	}
+	row := r.table.RowFor(v.HeadElapsedCycles)
+	slack := r.internalNs
+	for i := range v.Queue {
+		ti := float64(v.Now - v.Queue[i].Arrival)
+		ci, mi := r.table.Lookup(row, i)
+		if s := r.internalNs - ti - mi - ci*1000/f; s < slack {
+			slack = s
+		}
+	}
+	return maxFloat(slack, 0)
 }
 
 // Table returns the current target tail table (nil before first build).

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rubik/internal/queueing"
+)
+
+// bootstrappedRubik returns a controller with a built table over a
+// deterministic synthetic profile.
+func bootstrappedRubik(t *testing.T, boundNs float64) *Rubik {
+	t.Helper()
+	r, err := New(DefaultConfig(boundNs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	comp := make([]float64, 512)
+	mem := make([]float64, 512)
+	for i := range comp {
+		comp[i] = 250e3 * (0.5 + rng.Float64())
+		mem[i] = 20e3 * (0.5 + rng.Float64())
+	}
+	if err := r.Bootstrap(comp, mem); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestPredictedSlack pins the SlackReporter contract the capping layer
+// leans on: zero before the first table build, non-negative always,
+// shrinking as the queue deepens or wait accumulates, and growing with
+// frequency.
+func TestPredictedSlack(t *testing.T) {
+	const bound = 2e6
+	fresh, err := New(DefaultConfig(bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := queueing.View{Now: 0, CurrentMHz: 2400}
+	if s := fresh.PredictedSlackNs(v); s != 0 {
+		t.Fatalf("unprofiled controller predicted %v ns slack", s)
+	}
+
+	r := bootstrappedRubik(t, bound)
+	idle := r.PredictedSlackNs(v)
+	if idle <= 0 || idle >= bound {
+		t.Fatalf("idle slack %v outside (0, bound)", idle)
+	}
+
+	// Deeper queues can only shrink the headroom.
+	prev := idle
+	queue := []queueing.QueuedRequest{}
+	for depth := 1; depth <= 6; depth++ {
+		queue = append(queue, queueing.QueuedRequest{Arrival: 0})
+		s := r.PredictedSlackNs(queueing.View{Now: 0, CurrentMHz: 2400, Queue: queue})
+		if s > prev {
+			t.Fatalf("slack grew with queue depth %d: %v > %v", depth, s, prev)
+		}
+		prev = s
+	}
+
+	// Accumulated waiting time eats slack at the same queue state...
+	q1 := []queueing.QueuedRequest{{Arrival: 0}}
+	early := r.PredictedSlackNs(queueing.View{Now: 0, CurrentMHz: 2400, Queue: q1})
+	late := r.PredictedSlackNs(queueing.View{Now: 1_500_000, CurrentMHz: 2400, Queue: q1})
+	if late >= early {
+		t.Fatalf("slack did not shrink with waiting: %v >= %v", late, early)
+	}
+	// ...and a request waiting past the bound has none left.
+	if s := r.PredictedSlackNs(queueing.View{Now: 3_000_000, CurrentMHz: 2400, Queue: q1}); s != 0 {
+		t.Fatalf("slack %v for a request already past the bound", s)
+	}
+
+	// A faster core has at least as much headroom.
+	slow := r.PredictedSlackNs(queueing.View{Now: 0, CurrentMHz: 800, Queue: q1})
+	fast := r.PredictedSlackNs(queueing.View{Now: 0, CurrentMHz: 3400, Queue: q1})
+	if fast < slow {
+		t.Fatalf("slack fell with frequency: %v @3400 < %v @800", fast, slow)
+	}
+}

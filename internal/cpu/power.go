@@ -72,6 +72,26 @@ func (m PowerModel) Validate() error {
 	return nil
 }
 
+// FreqForPower inverts the active-power curve onto a frequency grid: it
+// returns the highest grid step whose active power fits budgetW. ok is
+// false when even the minimum step exceeds the budget (the minimum is
+// still returned — a core cannot run slower than the grid floor); power
+// capping layers account such spans as cap violations. The scan is linear
+// because the curve need not be monotone for exotic models, and grids are
+// a dozen steps.
+func FreqForPower(g Grid, m PowerModel, budgetW float64) (fMHz int, ok bool) {
+	best := -1
+	for i := 0; i < g.Len(); i++ {
+		if m.ActivePower(g.Step(i)) <= budgetW {
+			best = i
+		}
+	}
+	if best < 0 {
+		return g.Min(), false
+	}
+	return g.Step(best), true
+}
+
 // SystemPower models the non-core components of a server, following the
 // component split of the paper's power model (cores, uncore, DRAM, other:
 // PSU, disk, NIC). Uncore and DRAM have idle floors plus activity-

@@ -18,7 +18,7 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"pmv", "fig15", "fig16",
-		"ablation", "pegasus", "clusterscale", "scenarios",
+		"ablation", "pegasus", "clusterscale", "scenarios", "capping",
 	}
 	reg := Registry()
 	have := map[string]bool{}

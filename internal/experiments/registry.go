@@ -64,6 +64,8 @@ func Registry() []Entry {
 			func(o Options) (Renderer, error) { return Fig16(o) }},
 		{"ablation", "EXTENSION: Rubik design choices removed one at a time",
 			func(o Options) (Renderer, error) { return Ablation(o) }},
+		{"capping", "EXTENSION: shared socket power budget, cap x allocator x scenario",
+			func(o Options) (Renderer, error) { return Capping(o) }},
 		{"clusterscale", "EXTENSION: multi-core cluster, cores x dispatcher x load sweep",
 			func(o Options) (Renderer, error) { return ClusterScale(o) }},
 		{"scenarios", "EXTENSION: arrival/service scenario shapes x schemes (streaming sources)",

@@ -1,7 +1,6 @@
 package policy
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -25,18 +24,52 @@ type reduceCand struct {
 	saving float64
 }
 
+// candHeap is a by-value max-heap of reduction candidates ordered by
+// energy saving — the sim.Engine heap idiom: no container/heap
+// indirection, no `any` boxing on push/pop. The maximum sits at index 0
+// for the peek in the lazy-revalidation loop.
 type candHeap []reduceCand
 
-func (h candHeap) Len() int           { return len(h) }
-func (h candHeap) Less(i, j int) bool { return h[i].saving > h[j].saving }
-func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)        { *h = append(*h, x.(reduceCand)) }
-func (h *candHeap) Pop() any {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	*h = old[:n-1]
-	return c
+func (h candHeap) len() int { return len(h) }
+
+func (h *candHeap) push(c reduceCand) {
+	s := append(*h, c)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].saving >= s[i].saving {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *candHeap) pop() reduceCand {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && s[l].saving > s[big].saving {
+			big = l
+		}
+		if r < n && s[r].saving > s[big].saving {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		s[i], s[big] = s[big], s[i]
+		i = big
+	}
+	return top
 }
 
 // DynamicOracle finds a per-request frequency schedule that minimizes
@@ -117,7 +150,7 @@ func DynamicOracle(tr workload.Trace, grid cpu.Grid, boundNs, percentile float64
 	h := &candHeap{}
 	for i := 0; i < n; i++ {
 		if s, ok := ownSaving(i); ok && s > 0 {
-			heap.Push(h, reduceCand{idx: i, saving: s})
+			h.push(reduceCand{idx: i, saving: s})
 		}
 	}
 
@@ -125,8 +158,8 @@ func DynamicOracle(tr workload.Trace, grid cpu.Grid, boundNs, percentile float64
 	scratchF := make([]int, 0, 256)
 	scratchD := make([]sim.Time, 0, 256)
 	scratchE := make([]float64, 0, 256)
-	for h.Len() > 0 {
-		c := heap.Pop(h).(reduceCand)
+	for h.len() > 0 {
+		c := h.pop()
 		i := c.idx
 		if freqs[i] == fmin {
 			continue
@@ -136,8 +169,8 @@ func DynamicOracle(tr workload.Trace, grid cpu.Grid, boundNs, percentile float64
 		if !ok || saving <= 0 {
 			continue
 		}
-		if saving < c.saving*0.999 && h.Len() > 0 && saving < (*h)[0].saving {
-			heap.Push(h, reduceCand{idx: i, saving: saving})
+		if saving < c.saving*0.999 && h.len() > 0 && saving < (*h)[0].saving {
+			h.push(reduceCand{idx: i, saving: saving})
 			continue
 		}
 		lower, _ := stepDown(freqs[i])
@@ -183,7 +216,7 @@ func DynamicOracle(tr workload.Trace, grid cpu.Grid, boundNs, percentile float64
 		budget -= dViol
 		reductions++
 		if s, ok := ownSaving(i); ok && s > 0 {
-			heap.Push(h, reduceCand{idx: i, saving: s})
+			h.push(reduceCand{idx: i, saving: s})
 		}
 	}
 

@@ -72,6 +72,18 @@ type CompletionObserver interface {
 	ObserveCompletion(c Completion)
 }
 
+// SlackReporter is implemented by policies that can predict how much tail
+// headroom the core has at a decision point. Power-budget coordinators use
+// it to decide which cores donate frequency first when a shared cap binds:
+// a core with slack can run slower without missing its bound. Like
+// OnEvent, PredictedSlackNs must consume the View synchronously and must
+// not mutate policy state.
+type SlackReporter interface {
+	// PredictedSlackNs returns the predicted tail slack in nanoseconds at
+	// the current operating point (>= 0; 0 = no headroom or unknown).
+	PredictedSlackNs(v View) float64
+}
+
 // FixedPolicy always requests the same frequency; it is the paper's
 // Fixed-frequency baseline.
 type FixedPolicy struct {

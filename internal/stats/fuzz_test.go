@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzValues decodes a byte string into float64 observations, 8 bytes per
+// value, skipping NaNs (Observe's ordering comparisons are meaningless on
+// NaN) but keeping infinities, negatives, zeros and denormals — the
+// histogram must route all of them to a bucket without panicking.
+func fuzzValues(data []byte) []float64 {
+	vals := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		if math.IsNaN(v) {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// FuzzLogHistogramMerge fuzzes the streaming response-latency histogram
+// with two arbitrary observation streams and checks the merge contract:
+// counts are conserved exactly (total, underflow and overflow mass —
+// FracAbove exposes the tail mass), merging is order-independent, and
+// quantiles remain monotone in q and within the observed value range.
+func FuzzLogHistogramMerge(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		b := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(150, 1e3, 2.5e6), seed(99, 1e12, 7e8))
+	f.Add(seed(), seed(1))
+	f.Add(seed(-4, 0, math.Inf(1)), seed(math.Inf(-1), 1e300))
+	f.Add(seed(100, 100, 100), seed(100))
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		va, vb := fuzzValues(a), fuzzValues(b)
+		ha, hb := NewResponseHistogram(), NewResponseHistogram()
+		for _, v := range va {
+			ha.Observe(v)
+		}
+		for _, v := range vb {
+			hb.Observe(v)
+		}
+		if ha.Count() != uint64(len(va)) || hb.Count() != uint64(len(vb)) {
+			t.Fatalf("observe miscounted: %d/%d vs %d/%d", ha.Count(), len(va), hb.Count(), len(vb))
+		}
+
+		merged := NewResponseHistogram()
+		if err := merged.Merge(ha); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(hb); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := merged.Count(), uint64(len(va)+len(vb)); got != want {
+			t.Fatalf("merge dropped mass: count %d, want %d", got, want)
+		}
+
+		// Order independence: b then a lands on the identical histogram.
+		rev := NewResponseHistogram()
+		if err := rev.Merge(hb); err != nil {
+			t.Fatal(err)
+		}
+		if err := rev.Merge(ha); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+			if merged.Quantile(q) != rev.Quantile(q) {
+				t.Fatalf("merge not order-independent at q=%v", q)
+			}
+		}
+
+		// Tail mass is conserved bucket-exactly: the fraction above any
+		// probe scales as the count-weighted mean of the parts.
+		for _, probe := range []float64{50, 1e4, 1e9, 2e12} {
+			na, nb := float64(ha.Count()), float64(hb.Count())
+			if na+nb == 0 {
+				break
+			}
+			want := (ha.FracAbove(probe)*na + hb.FracAbove(probe)*nb) / (na + nb)
+			if got := merged.FracAbove(probe); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("tail mass not conserved at %g: got %v want %v", probe, got, want)
+			}
+		}
+
+		if merged.Count() == 0 {
+			if q := merged.Quantile(0.5); q != 0 {
+				t.Fatalf("empty histogram quantile %v", q)
+			}
+			return
+		}
+		// Quantiles are monotone in q...
+		qs := []float64{0, 0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			v := merged.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantiles not monotone: q=%v gives %v after %v", q, v, prev)
+			}
+			prev = v
+		}
+		// ...and stay inside the histogram's representable range.
+		if lo, hi := merged.Quantile(0), merged.Quantile(1); lo < 100 || hi > 1e12*1.1 {
+			t.Fatalf("quantile outside geometry: [%v, %v]", lo, hi)
+		}
+	})
+}

@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"io"
 
+	"rubik/internal/capping"
 	"rubik/internal/cluster"
 	rubikcore "rubik/internal/core"
 	"rubik/internal/cpu"
@@ -119,6 +120,12 @@ type (
 	ArrivalProcess = workload.ArrivalProcess
 	// ClosedLoop configures a closed-loop think-time client population.
 	ClosedLoop = workload.ClosedLoop
+	// Allocator reconciles per-core desired frequencies against a shared
+	// power budget (uniform, greedy-slack, waterfill).
+	Allocator = capping.Allocator
+	// PowerDomainStats is the per-domain budget accounting of a capped
+	// cluster run (ClusterResult.Capping).
+	PowerDomainStats = capping.DomainStats
 )
 
 // NominalMHz is the nominal core frequency (2.4 GHz, paper Table 2).
@@ -270,6 +277,63 @@ func SimulateClusterSource(src Source, cfg ClusterConfig) (ClusterResult, error)
 // dispatcher): core i of the cluster serves srcs[i] exclusively.
 func SimulateClusterPerCore(srcs []Source, cfg ClusterConfig) (ClusterResult, error) {
 	return cluster.RunPerCoreSources(srcs, cfg)
+}
+
+// NewCappedCluster assembles a capped multi-core server: cfg plus a
+// shared power budget of capW watts over one power domain spanning every
+// core, enforced by the allocator (nil = waterfill). Use the returned
+// config's PowerDomains field to split cores across several sockets.
+func NewCappedCluster(cores int, d Dispatcher, capW float64, alloc Allocator,
+	newPolicy func(core int) (Policy, error)) ClusterConfig {
+	cfg := NewCluster(cores, d, newPolicy)
+	cfg.CapW = capW
+	cfg.Allocator = alloc
+	return cfg
+}
+
+// SimulateClusterCapped runs a trace on a multi-core server under a
+// shared power budget: cfg with CapW set to capW and the allocator
+// applied (nil = waterfill, the default strategy). With capW <= 0 it is
+// exactly SimulateCluster. The result's Capping field carries the
+// per-domain accounting (throttle events, peak/average granted power,
+// infeasible-cap time).
+func SimulateClusterCapped(tr Trace, cfg ClusterConfig, capW float64, alloc Allocator) (ClusterResult, error) {
+	if capW > 0 {
+		cfg.CapW = capW
+		cfg.Allocator = alloc
+	}
+	return cluster.Run(tr, cfg)
+}
+
+// SimulateClusterCappedSource is the streaming SimulateClusterCapped.
+func SimulateClusterCappedSource(src Source, cfg ClusterConfig, capW float64, alloc Allocator) (ClusterResult, error) {
+	if capW > 0 {
+		cfg.CapW = capW
+		cfg.Allocator = alloc
+	}
+	return cluster.RunSource(src, cfg)
+}
+
+// UniformAllocator splits the budget into equal per-core shares.
+func UniformAllocator() Allocator { return capping.Uniform{} }
+
+// GreedySlackAllocator sheds frequency from the cores with the most
+// predicted tail slack first when the cap binds.
+func GreedySlackAllocator() Allocator { return capping.GreedySlack{} }
+
+// WaterfillAllocator raises cores toward their desired frequencies
+// lowest-first until the budget is exhausted (FastCap-style max-min
+// water-filling; the default strategy).
+func WaterfillAllocator() Allocator { return capping.Waterfill{} }
+
+// AllocatorByName looks an allocator strategy up by name (uniform,
+// greedy-slack, waterfill).
+func AllocatorByName(name string) (Allocator, error) { return capping.ByName(name) }
+
+// FreqForPower returns the highest grid frequency whose active core power
+// fits budgetW; ok is false when even the minimum step exceeds it.
+func FreqForPower(g Grid, m PowerModel, budgetW float64) (fMHz int, ok bool) {
+	return cpu.FreqForPower(g, m, budgetW)
 }
 
 // RandomDispatcher routes requests uniformly at random, reproducibly for

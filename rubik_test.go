@@ -78,8 +78,8 @@ func TestFacadeStaticOracle(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(rubik.Experiments()) != 22 {
-		t.Fatalf("experiments = %d, want 22", len(rubik.Experiments()))
+	if len(rubik.Experiments()) != 23 {
+		t.Fatalf("experiments = %d, want 23", len(rubik.Experiments()))
 	}
 	var buf bytes.Buffer
 	opts := rubik.ExperimentOptions{Quick: true, Seed: 1}
@@ -225,5 +225,88 @@ func TestFacadeStreaming(t *testing.T) {
 	}
 	if pres.Routed[0] != 500 || pres.Routed[1] != 700 {
 		t.Fatalf("per-core routing %v", pres.Routed)
+	}
+}
+
+// TestFacadeCappedCluster exercises the power-capping surface end to end
+// through the facade: allocator constructors and lookup, FreqForPower,
+// NewCappedCluster/SimulateClusterCapped(-Source), the accounting field,
+// and the capW<=0 passthrough.
+func TestFacadeCappedCluster(t *testing.T) {
+	grid := rubik.DefaultGrid()
+	model := rubik.DefaultServerConfig().Power
+	if f, ok := rubik.FreqForPower(grid, model, 1e9); !ok || f != grid.Max() {
+		t.Fatalf("FreqForPower(huge) = %d, %v", f, ok)
+	}
+	if f, ok := rubik.FreqForPower(grid, model, 0.01); ok || f != grid.Min() {
+		t.Fatalf("FreqForPower(tiny) = %d, %v", f, ok)
+	}
+	for _, a := range []rubik.Allocator{
+		rubik.UniformAllocator(), rubik.GreedySlackAllocator(), rubik.WaterfillAllocator(),
+	} {
+		byName, err := rubik.AllocatorByName(a.Name())
+		if err != nil || byName.Name() != a.Name() {
+			t.Fatalf("AllocatorByName(%q) = %v, %v", a.Name(), byName, err)
+		}
+	}
+	if _, err := rubik.AllocatorByName("bogus"); err == nil {
+		t.Fatal("unknown allocator must error")
+	}
+
+	app, err := rubik.AppByName("masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rubik.GenerateTrace(app, 0.5*2, 2000, 6)
+	newPolicy := func(int) (rubik.Policy, error) { return rubik.NewController(500_000) }
+
+	cfg := rubik.NewCappedCluster(2, rubik.JSQDispatcher(), 7, rubik.WaterfillAllocator(), newPolicy)
+	res, err := rubik.SimulateCluster(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Served(); got != 2000 {
+		t.Fatalf("capped cluster served %d of 2000", got)
+	}
+	if len(res.Capping) != 1 {
+		t.Fatalf("capped cluster reported %d domains", len(res.Capping))
+	}
+	d := res.Capping[0]
+	if d.Allocator != "waterfill" || d.CapW != 7 {
+		t.Fatalf("domain stats %+v", d)
+	}
+	if d.ThrottleEvents == 0 {
+		t.Fatal("a 7 W cap on 2 cores at 50% load never throttled")
+	}
+	if d.PeakPowerW > 7+1e-9 {
+		t.Fatalf("peak granted power %.6f W over the 7 W cap", d.PeakPowerW)
+	}
+
+	// SimulateClusterCapped applies the cap to a plain cluster config; the
+	// streaming variant must agree exactly on the same seed's stream.
+	base := rubik.NewCluster(2, rubik.JSQDispatcher(), newPolicy)
+	res2, err := rubik.SimulateClusterCapped(tr, base, 7, rubik.WaterfillAllocator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("SimulateClusterCapped diverged from NewCappedCluster+SimulateCluster")
+	}
+	res3, err := rubik.SimulateClusterCappedSource(
+		rubik.StreamTrace(app, 0.5*2, 2000, 6), base, 7, rubik.WaterfillAllocator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res3) {
+		t.Fatal("streamed capped cluster diverged from materialized replay")
+	}
+
+	// capW <= 0 is a plain uncapped simulation.
+	res4, err := rubik.SimulateClusterCapped(tr, base, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Capping != nil {
+		t.Fatal("capW=0 still produced capping accounting")
 	}
 }
