@@ -241,6 +241,46 @@ func BenchmarkCappedCluster(b *testing.B) {
 	}
 }
 
+// benchFleet runs a 4-socket fleet — per-socket bursty sources behind
+// socket-local JSQ, a fresh Rubik controller per core — at a fixed shard
+// count. Each socket is the BenchmarkClusterSimulate shape, so on an
+// n-core host ms/op should fall toward 1/min(shards, n, 4) of the
+// 1-shard cost; on a single-CPU host every shard count costs the same,
+// which is itself the measurement that the shard plumbing adds no
+// overhead. Fixed-name wrappers (not GOMAXPROCS-derived) keep the
+// BENCH_*.json series comparable across runner shapes.
+func benchFleet(b *testing.B, shards int) {
+	b.Helper()
+	const sockets, cores, nPer = 4, 6, 12000
+	app := workload.Masstree()
+	sc, err := workload.ScenarioByName("bursty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := rubik.NewFleet(sockets, cores,
+			func(s int) rubik.Source {
+				return sc.New(app, 0.5*cores, nPer, rubik.ShardSeed(3, s))
+			},
+			func(int, int) (rubik.Policy, error) { return rubik.NewController(500_000) })
+		cfg.Shards = shards
+		cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
+		res, err := rubik.SimulateFleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Served() != sockets*nPer {
+			b.Fatalf("served %d of %d", res.Served(), sockets*nPer)
+		}
+	}
+}
+
+func BenchmarkFleetSimulate1(b *testing.B)    { benchFleet(b, 1) }
+func BenchmarkFleetSimulate2(b *testing.B)    { benchFleet(b, 2) }
+func BenchmarkFleetSimulate4(b *testing.B)    { benchFleet(b, 4) }
+func BenchmarkFleetSimulateAuto(b *testing.B) { benchFleet(b, 0) }
+
 // benchWorkers runs the clusterscale sweep at a fixed fan-out, so the
 // sequential-vs-parallel speedup of the experiment runner is measurable
 // in the bench trajectory (compare ClusterScaleSequential to

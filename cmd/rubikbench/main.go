@@ -74,6 +74,39 @@ func uniformPMF(n int) stats.PMF {
 	return stats.PMF{Origin: 0, Width: 1000, P: p}
 }
 
+// fleetBench mirrors bench_test.go's benchFleet: a 4-socket fleet of
+// 6-core Rubik sockets behind socket-local JSQ at a fixed shard count.
+// The names are fixed (FleetSimulate1/2/4, never GOMAXPROCS-derived) so
+// the BENCH_*.json series stays comparable across runner shapes; the
+// 4-vs-1 ratio is the fleet engine's parallel speedup on that runner.
+func fleetBench(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const sockets, cores, nPer = 4, 6, 12000
+		app := workload.Masstree()
+		sc, err := workload.ScenarioByName("bursty")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := rubik.NewFleet(sockets, cores,
+				func(s int) rubik.Source {
+					return sc.New(app, 0.5*cores, nPer, rubik.ShardSeed(3, s))
+				},
+				func(int, int) (rubik.Policy, error) { return rubik.NewController(500_000) })
+			cfg.Shards = shards
+			cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
+			res, err := rubik.SimulateFleet(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Served() != sockets*nPer {
+				b.Fatalf("served %d of %d", res.Served(), sockets*nPer)
+			}
+		}
+	}
+}
+
 // benches mirrors the micro-benchmarks of bench_test.go at paper
 // parameters (128 buckets, 8 rows, 16 positions).
 var benches = []struct {
@@ -208,6 +241,9 @@ var benches = []struct {
 			}
 		}
 	}},
+	{"FleetSimulate1", fleetBench(1)},
+	{"FleetSimulate2", fleetBench(2)},
+	{"FleetSimulate4", fleetBench(4)},
 	{"Engine", func(b *testing.B) {
 		eng := sim.NewEngine()
 		const handles = 16

@@ -8,6 +8,7 @@
 //	rubiksim -exp all -quick       smoke-run everything with small traces
 //	rubiksim -exp fig9 -out fig9.txt
 //	rubiksim -cap 24 -allocator waterfill    one capped 6-core cluster run
+//	rubiksim -sockets 64 -shards 4           sharded fleet run (per-core Rubik)
 package main
 
 import (
@@ -65,6 +66,69 @@ func runCapped(w io.Writer, capW float64, allocator string, quick bool, seed int
 	return nil
 }
 
+// runFleet simulates a multi-socket fleet with a fresh Rubik controller
+// per core and socket-local JSQ dispatch, sharded across event-loop
+// goroutines. Everything written to w is deterministic and invariant to
+// the shard count — CI diffs the -shards 1 and -shards 2 outputs
+// byte-for-byte — so timing and the resolved shard count go to stderr.
+func runFleet(w io.Writer, sockets, shards int, capW float64, allocator string, quick bool, seed int64) error {
+	app, err := rubik.AppByName("masstree")
+	if err != nil {
+		return err
+	}
+	bound, err := rubik.TailBound(app, seed)
+	if err != nil {
+		return err
+	}
+	const cores = 6
+	nPer := app.Requests * cores
+	if quick && nPer > 1200*cores {
+		nPer = 1200 * cores
+	}
+	cfg := rubik.NewFleet(sockets, cores,
+		func(s int) rubik.Source {
+			src, err := rubik.NewScenarioSource("bursty", app, 0.5*cores, nPer, rubik.ShardSeed(seed, s))
+			if err != nil {
+				panic(err) // scenario name is fixed above
+			}
+			return src
+		},
+		func(int, int) (rubik.Policy, error) { return rubik.NewController(bound) })
+	cfg.Shards = shards
+	cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
+	if capW > 0 {
+		alloc, err := rubik.AllocatorByName(allocator)
+		if err != nil {
+			return err
+		}
+		cfg.CapW = capW
+		cfg.Allocator = alloc
+	}
+
+	start := time.Now()
+	res, err := rubik.SimulateFleet(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "fleet: %d sockets x %d cores, bursty masstree, jsq dispatch, %d requests/socket\n",
+		sockets, cores, nPer)
+	if capW > 0 {
+		fmt.Fprintf(w, "  per-socket cap %.1f W (%s)\n", capW, cfg.Allocator.Name())
+	}
+	fmt.Fprintf(w, "  pooled p95 %.3f ms  p99 %.3f ms  (bound %.3f ms)  %.3f mJ/request  %d served\n",
+		res.TailNs(0.95, 0.1)/1e6, res.TailNs(0.99, 0.1)/1e6, bound/1e6,
+		res.EnergyPerRequestJ()*1e3, res.Served())
+	for s, sr := range res.Sockets {
+		fmt.Fprintf(w, "  socket %3d: p95 %.3f ms  %.3f mJ/request  %d served\n",
+			s, sr.TailNs(0.95, 0.1)/1e6, sr.EnergyPerRequestJ()*1e3, sr.Served())
+	}
+	fmt.Fprintf(os.Stderr, "rubiksim: fleet %d sockets on %d shards in %.2fs (%.0f simulated requests/s)\n",
+		sockets, res.Shards, elapsed.Seconds(), float64(res.Served())/elapsed.Seconds())
+	return nil
+}
+
 func main() {
 	var (
 		exp       = flag.String("exp", "", "experiment ID to run (see -list), or \"all\"")
@@ -75,6 +139,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel simulation fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		capW      = flag.Float64("cap", 0, "run one capped 6-core cluster at this socket budget (W) instead of an experiment")
 		allocator = flag.String("allocator", "waterfill", "budget allocator for -cap (uniform, greedy-slack, waterfill)")
+		sockets   = flag.Int("sockets", 0, "run a sharded fleet with this many sockets instead of an experiment (-cap then sets the per-socket budget)")
+		shards    = flag.Int("shards", 0, "event-loop goroutines for -sockets (0 = GOMAXPROCS, clamped to the socket count)")
 	)
 	flag.Parse()
 
@@ -84,7 +150,7 @@ func main() {
 		}
 		return
 	}
-	if *capW <= 0 && *exp == "" {
+	if *sockets <= 0 && *capW <= 0 && *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -100,6 +166,13 @@ func main() {
 		w = f
 	}
 
+	if *sockets > 0 {
+		if err := runFleet(w, *sockets, *shards, *capW, *allocator, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rubiksim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *capW > 0 {
 		if err := runCapped(w, *capW, *allocator, *quick, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "rubiksim:", err)

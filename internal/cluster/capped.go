@@ -199,6 +199,12 @@ type cappedSetup struct {
 // domain controller. It returns nil when CapW is 0 (unset): the config is
 // untouched and the run is byte-identical to an uncapped cluster. Call
 // attach with the built cores afterwards.
+//
+// Fleet runs wire capping through this exact path, once per socket: a
+// FleetConfig cap makes each socket one domain spanning its cores, with
+// its own Domain (and allocator scratch) on its own engine — so capped
+// fleets stay shared-nothing across shards, and a capped socket's
+// accounting is identical to the same socket run standalone.
 func wireCapping(eng *sim.Engine, cfg *Config) (*cappedSetup, error) {
 	if cfg.CapW == 0 {
 		if len(cfg.PowerDomains) > 0 {

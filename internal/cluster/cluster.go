@@ -84,20 +84,47 @@ type Result struct {
 // Per-core slices are already sorted, so this is an O(total * log cores)
 // k-way min-heap merge keyed by (next completion time, core index) — the
 // tie-break keeps the ordering identical to the linear-scan merge it
-// replaced, which always took the lowest-indexed core among equals.
+// replaced, which always took the lowest-indexed core among equals. For
+// fleet-scale results prefer IterCompletions, which streams the same
+// order without materializing a per-request slice.
 func (r Result) Completions() []queueing.Completion {
 	var total int
 	for _, c := range r.PerCore {
 		total += len(c.Completions)
 	}
 	out := make([]queueing.Completion, 0, total)
-	idx := make([]int, len(r.PerCore))
-	// heap holds core indices; the key of core i is
-	// (PerCore[i].Completions[idx[i]].Done, i).
-	heap := make([]int, 0, len(r.PerCore))
+	r.IterCompletions(func(c queueing.Completion) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// IterCompletions streams the pooled completion order of Completions in
+// callback form: yield receives each completion in (Done, core index)
+// order and returning false stops the merge. Memory is O(cores),
+// independent of the request count.
+func (r Result) IterCompletions(yield func(queueing.Completion) bool) {
+	lists := make([][]queueing.Completion, len(r.PerCore))
+	for i, c := range r.PerCore {
+		lists[i] = c.Completions
+	}
+	iterMergedCompletions(lists, yield)
+}
+
+// iterMergedCompletions is the shared streaming k-way merge behind
+// Result.IterCompletions and FleetResult.IterCompletions: lists must each
+// be sorted by Done, and the merge is keyed by (Done, list index) — ties
+// go to the lowest list index, exactly the ordering the materializing
+// merge has always produced.
+func iterMergedCompletions(lists [][]queueing.Completion, yield func(queueing.Completion) bool) {
+	idx := make([]int, len(lists))
+	// heap holds list indices; the key of list i is
+	// (lists[i][idx[i]].Done, i).
+	heap := make([]int, 0, len(lists))
 	less := func(a, b int) bool {
-		ca := r.PerCore[a].Completions[idx[a]]
-		cb := r.PerCore[b].Completions[idx[b]]
+		ca := lists[a][idx[a]]
+		cb := lists[b][idx[b]]
 		return ca.Done < cb.Done || (ca.Done == cb.Done && a < b)
 	}
 	siftDown := func(i int) {
@@ -117,8 +144,8 @@ func (r Result) Completions() []queueing.Completion {
 			i = smallest
 		}
 	}
-	for i, c := range r.PerCore {
-		if len(c.Completions) > 0 {
+	for i, l := range lists {
+		if len(l) > 0 {
 			heap = append(heap, i)
 		}
 	}
@@ -126,16 +153,17 @@ func (r Result) Completions() []queueing.Completion {
 		siftDown(i)
 	}
 	for len(heap) > 0 {
-		core := heap[0]
-		out = append(out, r.PerCore[core].Completions[idx[core]])
-		idx[core]++
-		if idx[core] >= len(r.PerCore[core].Completions) {
+		l := heap[0]
+		if !yield(lists[l][idx[l]]) {
+			return
+		}
+		idx[l]++
+		if idx[l] >= len(lists[l]) {
 			heap[0] = heap[len(heap)-1]
 			heap = heap[:len(heap)-1]
 		}
 		siftDown(0)
 	}
-	return out
 }
 
 // TailNs pools post-warmup responses across cores and returns the

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 
 	"rubik/internal/sim"
@@ -27,6 +28,15 @@ type CoreState struct {
 // deterministic given their construction parameters: Run calls Reset
 // before replaying a trace, so repeated simulations of the same trace
 // under the same configuration are identical.
+//
+// Fleet semantics: in a sharded fleet run every socket has its own
+// dispatcher instance over its own cores (partitioned-queue dispatch).
+// Random and RoundRobin are shard-local by construction — their decisions
+// never depended on cross-core state. JSQ and LeastWork compare queue
+// state, so in a fleet they compare only the socket's cores: a
+// fleet-global shortest-queue would need every core's depth at every
+// arrival, which is exactly the cross-shard synchronization sharding
+// removes (DESIGN.md §10).
 type Dispatcher interface {
 	// Name identifies the dispatch discipline in results and reports.
 	Name() string
@@ -134,4 +144,22 @@ func (LeastWork) Pick(_ workload.Request, cores []CoreState) int {
 // the random one; the order is stable for experiment sweeps.
 func Dispatchers(seed int64) []Dispatcher {
 	return []Dispatcher{NewRandom(seed), NewRoundRobin(), NewJSQ(), NewLeastWork()}
+}
+
+// DispatcherByName returns a fresh dispatcher by discipline name (random,
+// roundrobin, jsq, leastwork); seed only matters for random. Fleet
+// configs build one per socket, deriving per-socket seeds with
+// workload.ShardSeed.
+func DispatcherByName(name string, seed int64) (Dispatcher, error) {
+	switch name {
+	case "random":
+		return NewRandom(seed), nil
+	case "roundrobin":
+		return NewRoundRobin(), nil
+	case "jsq":
+		return NewJSQ(), nil
+	case "leastwork":
+		return NewLeastWork(), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown dispatcher %q (random, roundrobin, jsq, leastwork)", name)
 }

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rubik/internal/capping"
+	"rubik/internal/queueing"
+	"rubik/internal/sim"
+	"rubik/internal/stats"
+	"rubik/internal/workload"
+)
+
+// FleetConfig describes a fleet: Sockets independent core groups, each a
+// CoresPerSocket-core cluster with its own request source, dispatcher and
+// (optionally) power-capping domain, simulated across Shards parallel
+// event loops.
+//
+// Sockets are shared-nothing by construction — no source, dispatcher,
+// policy, allocator scratch or engine is shared between them — which is
+// what makes the parallelism exact rather than approximate: the fleet
+// result is invariant to the shard count, and RunFleet with Shards=1 is
+// byte-identical to simulating the sockets one after another. Dispatch is
+// socket-local (partitioned-queue semantics): a JSQ or least-work
+// dispatcher compares only the queues of its own socket's cores. A
+// fleet-global JSQ would need every core's queue length at every arrival,
+// which is precisely the cross-shard synchronization sharding removes; see
+// DESIGN.md §10 for the argument.
+type FleetConfig struct {
+	// Sockets is the number of independent core groups.
+	Sockets int
+	// CoresPerSocket is the core count of each group (paper CMP: 6).
+	CoresPerSocket int
+	// Shards is the number of parallel simulation goroutines the sockets
+	// are packed onto. 0 means GOMAXPROCS; any value is clamped to
+	// [1, Sockets]. The shard count is a throughput knob only — results
+	// are identical at every value.
+	Shards int
+	// NewSource builds socket s's request stream. Sources must not be
+	// shared between sockets (they are stateful); derive per-socket seeds
+	// with workload.ShardSeed so the fleet is deterministic per fleet
+	// seed. Called from shard goroutines: the factory must be safe for
+	// concurrent calls (building independent sources concurrently is safe
+	// for every source in this repo).
+	NewSource func(socket int) workload.Source
+	// NewDispatcher builds socket s's dispatcher (nil: round-robin per
+	// socket). Dispatchers are stateful, so every socket needs a fresh
+	// one; seed Random dispatchers per socket via workload.ShardSeed.
+	NewDispatcher func(socket int) Dispatcher
+	// Core parameterizes every core in the fleet.
+	Core queueing.Config
+	// NewPolicy builds the frequency policy for (socket, core). Like
+	// NewSource it is called from shard goroutines and must be safe for
+	// concurrent calls.
+	NewPolicy func(socket, core int) (queueing.Policy, error)
+
+	// CapW, when > 0, budgets every socket at CapW watts: each socket is
+	// one power domain spanning its cores, reconciled by Allocator
+	// (socket-local, like dispatch — see internal/capping). 0 = uncapped.
+	CapW float64
+	// Allocator is the per-socket budget strategy (default:
+	// capping.Waterfill). Allocators are stateless values (per-round
+	// scratch lives in each socket's Domain), so one value serves every
+	// socket concurrently.
+	Allocator capping.Allocator
+}
+
+// socketConfig assembles the per-socket cluster Config: socket s of a
+// fleet is exactly a CoresPerSocket-core cluster run, so fleet semantics
+// reduce to the (golden-pinned) single-engine cluster semantics.
+func (cfg FleetConfig) socketConfig(s int) Config {
+	c := Config{
+		Cores:     cfg.CoresPerSocket,
+		Core:      cfg.Core,
+		CapW:      cfg.CapW,
+		Allocator: cfg.Allocator,
+	}
+	if cfg.NewDispatcher != nil {
+		c.Dispatcher = cfg.NewDispatcher(s)
+	}
+	if cfg.NewPolicy != nil {
+		s := s
+		c.NewPolicy = func(core int) (queueing.Policy, error) {
+			return cfg.NewPolicy(s, core)
+		}
+	}
+	return c
+}
+
+// shardCount resolves the effective shard count.
+func (cfg FleetConfig) shardCount() int {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > cfg.Sockets {
+		n = cfg.Sockets
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// FleetResult is the outcome of a fleet run: one cluster Result per
+// socket, in socket order. Per-socket capping accounting (when the fleet
+// was capped) lives in each socket Result's Capping field; core indices
+// inside it are socket-local.
+type FleetResult struct {
+	// Shards is the shard count the run used (reporting only — results
+	// are invariant to it).
+	Shards int
+	// Sockets holds each socket's cluster Result.
+	Sockets []Result
+}
+
+// coreLists flattens the fleet's per-core completion logs in global core
+// order (socket-major: global core index = cores-before-socket + local
+// index), the key order of the deterministic merge.
+func (r FleetResult) coreLists() [][]queueing.Completion {
+	var lists [][]queueing.Completion
+	for _, s := range r.Sockets {
+		for _, c := range s.PerCore {
+			lists = append(lists, c.Completions)
+		}
+	}
+	return lists
+}
+
+// IterCompletions streams the fleet's pooled completions in completion
+// order (ties by global core index) without materializing them: the same
+// min-heap merge as Result.Completions, in callback form. yield returning
+// false stops the merge. Memory is O(total cores), independent of the
+// request count — the fleet-scale counterpart of a 10k-core Completions()
+// call, which would materialize every served request.
+func (r FleetResult) IterCompletions(yield func(queueing.Completion) bool) {
+	iterMergedCompletions(r.coreLists(), yield)
+}
+
+// Completions materializes the pooled completion order. Prefer
+// IterCompletions for large fleets: this allocates one slice holding
+// every served request in the fleet.
+func (r FleetResult) Completions() []queueing.Completion {
+	var total int
+	for _, s := range r.Sockets {
+		for _, c := range s.PerCore {
+			total += len(c.Completions)
+		}
+	}
+	out := make([]queueing.Completion, 0, total)
+	r.IterCompletions(func(c queueing.Completion) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// TailNs pools post-warmup responses across every core of every socket
+// and returns the q-quantile, falling back to merging the streamed
+// per-core response histograms when completion logs were dropped
+// (queueing.Config.DropCompletions) — the same two-path estimate as
+// Result.TailNs, fleet-wide.
+func (r FleetResult) TailNs(q, warmupFrac float64) float64 {
+	var all []float64
+	for _, s := range r.Sockets {
+		for _, c := range s.PerCore {
+			all = append(all, c.Responses(warmupFrac)...)
+		}
+	}
+	if len(all) > 0 {
+		return stats.Percentile(all, q)
+	}
+	var merged *stats.LogHistogram
+	for _, s := range r.Sockets {
+		for _, c := range s.PerCore {
+			if c.ResponseHist == nil {
+				continue
+			}
+			if merged == nil {
+				merged = stats.NewResponseHistogram()
+			}
+			if err := merged.Merge(c.ResponseHist); err != nil {
+				return 0
+			}
+		}
+	}
+	if merged == nil {
+		return 0
+	}
+	return merged.Quantile(q)
+}
+
+// Served counts completed requests across the fleet.
+func (r FleetResult) Served() int {
+	var n int
+	for _, s := range r.Sockets {
+		n += s.Served()
+	}
+	return n
+}
+
+// ActiveEnergyJ sums active core energy across the fleet.
+func (r FleetResult) ActiveEnergyJ() float64 {
+	var e float64
+	for _, s := range r.Sockets {
+		e += s.ActiveEnergyJ()
+	}
+	return e
+}
+
+// TotalEnergyJ sums active plus idle energy across the fleet.
+func (r FleetResult) TotalEnergyJ() float64 {
+	var e float64
+	for _, s := range r.Sockets {
+		e += s.TotalEnergyJ()
+	}
+	return e
+}
+
+// EnergyPerRequestJ is fleet-pooled active energy per completed request.
+func (r FleetResult) EnergyPerRequestJ() float64 {
+	n := r.Served()
+	if n == 0 {
+		return 0
+	}
+	return r.ActiveEnergyJ() / float64(n)
+}
+
+// EndTime is the latest socket end time: the simulated duration of the
+// fleet run (sockets are independent, so each ends on its own clock).
+func (r FleetResult) EndTime() sim.Time {
+	var end sim.Time
+	for _, s := range r.Sockets {
+		if s.EndTime > end {
+			end = s.EndTime
+		}
+	}
+	return end
+}
+
+// Capping concatenates the per-socket power-domain accounting in socket
+// order (empty when the fleet ran uncapped). Core indices inside each
+// DomainStats are socket-local.
+func (r FleetResult) Capping() []capping.DomainStats {
+	var out []capping.DomainStats
+	for _, s := range r.Sockets {
+		out = append(out, s.Capping...)
+	}
+	return out
+}
+
+// RunFleet simulates the fleet across cfg.Shards parallel event loops.
+//
+// Each shard goroutine owns a disjoint subset of sockets (round-robin:
+// shard k runs sockets k, k+shards, ...) and simulates them one after
+// another, each socket on its own sim.Engine via the single-engine
+// cluster path (RunSource). Sockets get dedicated engines rather than one
+// engine per shard because engine-global quantities — the end-of-run
+// clock that trailing idle-energy accounting accrues to — would otherwise
+// couple co-resident sockets, and co-residency buys nothing when sockets
+// share no state. The shard partition is therefore pure scheduling:
+// socket s's Result is a function of (source, config) alone, so shard=N
+// output is deeply equal to shard=1 output for every N, and shard=1 is
+// the plain sequential loop over sockets.
+func RunFleet(cfg FleetConfig) (FleetResult, error) {
+	if cfg.Sockets <= 0 {
+		return FleetResult{}, fmt.Errorf("cluster: fleet needs at least 1 socket, got %d", cfg.Sockets)
+	}
+	if cfg.CoresPerSocket <= 0 {
+		return FleetResult{}, fmt.Errorf("cluster: fleet needs at least 1 core per socket, got %d", cfg.CoresPerSocket)
+	}
+	if cfg.NewSource == nil {
+		return FleetResult{}, fmt.Errorf("cluster: fleet needs a NewSource factory")
+	}
+	shards := cfg.shardCount()
+
+	results := make([]Result, cfg.Sockets)
+	errs := make([]error, cfg.Sockets)
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for s := k; s < cfg.Sockets; s += shards {
+				src := cfg.NewSource(s)
+				if src == nil {
+					errs[s] = fmt.Errorf("cluster: fleet socket %d: NewSource returned nil", s)
+					continue
+				}
+				results[s], errs[s] = RunSource(src, cfg.socketConfig(s))
+			}
+		}(k)
+	}
+	wg.Wait()
+	// Lowest-socket error wins, so the reported failure is deterministic
+	// regardless of which shard hit it first.
+	for s, err := range errs {
+		if err != nil {
+			return FleetResult{}, fmt.Errorf("cluster: fleet socket %d: %w", s, err)
+		}
+	}
+	return FleetResult{Shards: shards, Sockets: results}, nil
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"rubik/internal/queueing"
+	"rubik/internal/workload"
+)
+
+// fleetConfig builds the test fleet: per-socket scenario sources with
+// ShardSeed-derived seeds, a fresh dispatcher per socket, fixed-frequency
+// cores (the sharding property is about partitioning, not the policy).
+func fleetConfig(t *testing.T, scenario, dispatcher string, sockets, coresPer, nPer int, capW float64, shards int) FleetConfig {
+	t.Helper()
+	app := workload.Masstree()
+	sc, err := workload.ScenarioByName(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultConfig()
+	return FleetConfig{
+		Sockets:        sockets,
+		CoresPerSocket: coresPer,
+		Shards:         shards,
+		NewSource: func(s int) workload.Source {
+			return sc.New(app, 0.5*float64(coresPer), nPer, workload.ShardSeed(7, s))
+		},
+		NewDispatcher: func(s int) Dispatcher {
+			d, err := DispatcherByName(dispatcher, workload.ShardSeed(7, s))
+			if err != nil {
+				panic(err)
+			}
+			return d
+		},
+		Core: base.Core,
+		NewPolicy: func(int, int) (queueing.Policy, error) {
+			return queueing.FixedPolicy{MHz: base.Core.InitialMHz}, nil
+		},
+		CapW: capW,
+	}
+}
+
+// TestFleetShardInvariance is the tentpole property: for every dispatcher
+// x scenario shape x capped/uncapped cell, running the fleet on 1 shard,
+// 2 shards and one shard per socket produces deeply equal per-socket
+// results. Shards are shared-nothing, so the partition is pure scheduling
+// — any divergence here means state leaked across sockets.
+func TestFleetShardInvariance(t *testing.T) {
+	const sockets, coresPer, nPer = 3, 2, 500
+	scenarios := []string{"bursty", "heavytail", "closedloop"}
+	dispatchers := []string{"random", "roundrobin", "jsq", "leastwork"}
+	caps := []float64{0, 9} // uncapped; binding 2-core budget
+	for _, sc := range scenarios {
+		for _, d := range dispatchers {
+			for _, capW := range caps {
+				name := sc + "/" + d
+				if capW > 0 {
+					name += "/capped"
+				}
+				t.Run(name, func(t *testing.T) {
+					want, err := RunFleet(fleetConfig(t, sc, d, sockets, coresPer, nPer, capW, 1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want.Shards != 1 {
+						t.Fatalf("shard count %d, want 1", want.Shards)
+					}
+					for _, shards := range []int{2, sockets} {
+						got, err := RunFleet(fleetConfig(t, sc, d, sockets, coresPer, nPer, capW, shards))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Shards != shards {
+							t.Fatalf("shard count %d, want %d", got.Shards, shards)
+						}
+						if !reflect.DeepEqual(got.Sockets, want.Sockets) {
+							t.Fatalf("shard=%d fleet result diverged from shard=1", shards)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFleetSocketMatchesStandalone pins fleet semantics to the
+// golden-pinned single-engine cluster path: every socket of a fleet run
+// is deeply equal to running that socket's source and config through
+// RunSource standalone. Sharding adds no simulation semantics of its own.
+func TestFleetSocketMatchesStandalone(t *testing.T) {
+	const sockets, coresPer, nPer = 3, 2, 800
+	cfg := fleetConfig(t, "bursty", "jsq", sockets, coresPer, nPer, 0, 0)
+	fleet, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Sockets) != sockets {
+		t.Fatalf("got %d socket results, want %d", len(fleet.Sockets), sockets)
+	}
+	maxShards := runtime.GOMAXPROCS(0)
+	if maxShards > sockets {
+		maxShards = sockets
+	}
+	if fleet.Shards != maxShards {
+		t.Fatalf("auto shard count %d, want GOMAXPROCS clamped to %d", fleet.Shards, maxShards)
+	}
+	for s := 0; s < sockets; s++ {
+		solo, err := RunSource(cfg.NewSource(s), cfg.socketConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fleet.Sockets[s], solo) {
+			t.Fatalf("fleet socket %d diverged from standalone RunSource", s)
+		}
+	}
+	// Distinct derived seeds: sockets must not replay each other's stream.
+	if reflect.DeepEqual(fleet.Sockets[0].PerCore, fleet.Sockets[1].PerCore) {
+		t.Fatal("sockets 0 and 1 served identical streams — seed derivation collapsed")
+	}
+}
+
+// TestFleetIterCompletions checks the streaming merge: IterCompletions
+// yields exactly Completions() in order, the order is nondecreasing in
+// Done with ties broken by global core index, and yield=false stops the
+// merge early.
+func TestFleetIterCompletions(t *testing.T) {
+	fleet, err := RunFleet(fleetConfig(t, "bursty", "roundrobin", 3, 2, 400, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fleet.Completions()
+	if len(want) != fleet.Served() {
+		t.Fatalf("merged %d completions, served %d", len(want), fleet.Served())
+	}
+	var got []queueing.Completion
+	fleet.IterCompletions(func(c queueing.Completion) bool {
+		got = append(got, c)
+		return true
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("IterCompletions stream differs from materialized Completions")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Done < got[i-1].Done {
+			t.Fatalf("merge out of order at %d: %v after %v", i, got[i].Done, got[i-1].Done)
+		}
+	}
+	stopped := 0
+	fleet.IterCompletions(func(queueing.Completion) bool {
+		stopped++
+		return stopped < 10
+	})
+	if stopped != 10 {
+		t.Fatalf("early stop yielded %d completions, want 10", stopped)
+	}
+}
+
+// TestFleetCapTransparent checks the capping boundary fleet-wide: an
+// unreachable cap leaves every socket's cores deeply equal to the
+// uncapped fleet (the wiring is installed but never binds), while a
+// binding cap throttles and accounts in every socket.
+func TestFleetCapTransparent(t *testing.T) {
+	uncapped, err := RunFleet(fleetConfig(t, "bursty", "jsq", 2, 2, 500, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := RunFleet(fleetConfig(t, "bursty", "jsq", 2, 2, 500, math.Inf(1), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range loose.Sockets {
+		if !reflect.DeepEqual(loose.Sockets[s].PerCore, uncapped.Sockets[s].PerCore) {
+			t.Fatalf("socket %d: non-binding cap perturbed the run", s)
+		}
+		if len(loose.Sockets[s].Capping) != 1 {
+			t.Fatalf("socket %d: %d capping domains, want 1", s, len(loose.Sockets[s].Capping))
+		}
+	}
+	tight, err := RunFleet(fleetConfig(t, "bursty", "jsq", 2, 2, 500, 9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doms := tight.Capping()
+	if len(doms) != 2 {
+		t.Fatalf("fleet capping reported %d domains, want 2", len(doms))
+	}
+	for s, d := range doms {
+		if d.PeakPowerW > 9+1e-9 {
+			t.Fatalf("socket %d granted %.2f W over the 9 W cap", s, d.PeakPowerW)
+		}
+		if d.Rounds == 0 {
+			t.Fatalf("socket %d: no allocation rounds under a binding cap", s)
+		}
+	}
+}
+
+// TestFleetValidation exercises the config errors, including that a
+// failing socket reports deterministically (lowest socket index wins no
+// matter which shard hits its error first).
+func TestFleetValidation(t *testing.T) {
+	good := fleetConfig(t, "bursty", "jsq", 2, 2, 100, 0, 1)
+
+	bad := good
+	bad.Sockets = 0
+	if _, err := RunFleet(bad); err == nil {
+		t.Fatal("0 sockets accepted")
+	}
+	bad = good
+	bad.CoresPerSocket = 0
+	if _, err := RunFleet(bad); err == nil {
+		t.Fatal("0 cores per socket accepted")
+	}
+	bad = good
+	bad.NewSource = nil
+	if _, err := RunFleet(bad); err == nil {
+		t.Fatal("nil NewSource accepted")
+	}
+	bad = good
+	bad.Sockets = 4
+	bad.Shards = 4
+	inner := bad.NewSource
+	bad.NewSource = func(s int) workload.Source {
+		if s >= 1 {
+			return nil // sockets 1..3 all fail, on different shards
+		}
+		return inner(s)
+	}
+	_, err := RunFleet(bad)
+	if err == nil || !strings.Contains(err.Error(), "socket 1") {
+		t.Fatalf("want deterministic lowest-socket error, got %v", err)
+	}
+}
+
+// TestStreamingFleetConstantMemory is the fleet acceptance run, mirroring
+// TestStreamingClusterConstantMemory: a multi-socket diurnal fleet with
+// streamed completion logs finishes with total allocation independent of
+// the request count — per-socket engines, cores and histograms are the
+// only footprint, and the pooled tail comes from the merged histograms.
+func TestStreamingFleetConstantMemory(t *testing.T) {
+	nPer := 250_000
+	if testing.Short() {
+		nPer = 40_000
+	}
+	const sockets, coresPer = 8, 4
+	cfg := fleetConfig(t, "diurnal", "jsq", sockets, coresPer, nPer, 0, 0)
+	cfg.Core.DropCompletions = true
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+
+	if res.Served() != sockets*nPer {
+		t.Fatalf("served %d of %d", res.Served(), sockets*nPer)
+	}
+	for s, sr := range res.Sockets {
+		for i, c := range sr.PerCore {
+			if len(c.Completions) != 0 {
+				t.Fatalf("socket %d core %d retained %d completions", s, i, len(c.Completions))
+			}
+		}
+	}
+	if tail := res.TailNs(0.95, 0); tail <= 0 {
+		t.Fatalf("fleet streamed tail %v", tail)
+	}
+	// Setup is O(sockets x cores): engines, cores, response histograms.
+	// 1 MB per socket covers that comfortably while staying far below
+	// what any per-request retention would cost at 2M requests. (The race
+	// detector instruments allocations; the byte guard only holds
+	// uninstrumented.)
+	if delta := m1.TotalAlloc - m0.TotalAlloc; !raceEnabled && delta > sockets<<20 {
+		t.Errorf("fleet run allocated %.2f MB total (%.2f B/request) — memory not independent of request count",
+			float64(delta)/1e6, float64(delta)/float64(res.Served()))
+	}
+}

@@ -13,8 +13,10 @@
 // (Fixed-frequency, StaticOracle, AdrenalineOracle, DynamicOracle, and a
 // Pegasus-style feedback controller), the RubikColoc colocation substrate,
 // a multi-core cluster simulator with pluggable request dispatch
-// (NewCluster, SimulateCluster), a datacenter fleet model, and one
-// experiment driver per table/figure of the paper.
+// (NewCluster, SimulateCluster), a sharded fleet engine that simulates
+// thousands of sockets across parallel event loops with shard-count-
+// invariant results (NewFleet, SimulateFleet), a datacenter fleet model,
+// and one experiment driver per table/figure of the paper.
 //
 // Request streams are pull-based Sources (StreamTrace, NewScenarioSource,
 // SimulateSource, SimulateClusterSource): a scenario registry provides
@@ -107,6 +109,15 @@ type (
 	Dispatcher = cluster.Dispatcher
 	// CoreState is the dispatcher-visible snapshot of one cluster core.
 	CoreState = cluster.CoreState
+	// FleetConfig parameterizes a sharded fleet: Sockets independent core
+	// groups (each with its own source, dispatcher and power budget)
+	// simulated across Shards parallel event loops. Results are invariant
+	// to the shard count.
+	FleetConfig = cluster.FleetConfig
+	// FleetResult is the outcome of a fleet run: one ClusterResult per
+	// socket, with pooled tails/energy and a streaming completion merge
+	// (IterCompletions) that never materializes the fleet's request log.
+	FleetResult = cluster.FleetResult
 	// Source is a pull-based request stream: the streaming counterpart of
 	// a Trace. Simulations consume sources without materializing them, so
 	// run length is bounded by time, not memory.
@@ -277,6 +288,43 @@ func SimulateClusterSource(src Source, cfg ClusterConfig) (ClusterResult, error)
 // dispatcher): core i of the cluster serves srcs[i] exclusively.
 func SimulateClusterPerCore(srcs []Source, cfg ClusterConfig) (ClusterResult, error) {
 	return cluster.RunPerCoreSources(srcs, cfg)
+}
+
+// NewFleet assembles a sharded fleet configuration: sockets independent
+// groups of coresPerSocket cores, socket s fed by newSource(s) (derive
+// per-socket seeds with ShardSeed) under fresh per-core policies from
+// newPolicy. Dispatch defaults to per-socket round-robin and the shard
+// count to GOMAXPROCS; set the returned config's NewDispatcher, Shards,
+// CapW and Allocator fields to override.
+func NewFleet(sockets, coresPerSocket int, newSource func(socket int) Source,
+	newPolicy func(socket, core int) (Policy, error)) FleetConfig {
+	return cluster.FleetConfig{
+		Sockets:        sockets,
+		CoresPerSocket: coresPerSocket,
+		NewSource:      newSource,
+		Core:           queueing.DefaultConfig(),
+		NewPolicy:      newPolicy,
+	}
+}
+
+// SimulateFleet runs a fleet across its configured shard count: each
+// shard goroutine simulates a disjoint subset of sockets on dedicated
+// event loops, and the per-socket results merge deterministically —
+// shard=N output is deeply equal to shard=1, which is the plain
+// sequential loop over the sockets.
+func SimulateFleet(cfg FleetConfig) (FleetResult, error) {
+	return cluster.RunFleet(cfg)
+}
+
+// ShardSeed derives the seed for independent group (socket) i of a fleet
+// from a fleet-level seed, so per-socket sources are deterministic per
+// fleet seed yet mutually independent.
+func ShardSeed(seed int64, group int) int64 { return workload.ShardSeed(seed, group) }
+
+// DispatcherByName looks a dispatch discipline up by name (random,
+// roundrobin, jsq, leastwork); seed only matters for random.
+func DispatcherByName(name string, seed int64) (Dispatcher, error) {
+	return cluster.DispatcherByName(name, seed)
 }
 
 // NewCappedCluster assembles a capped multi-core server: cfg plus a
