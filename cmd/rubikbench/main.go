@@ -9,6 +9,11 @@
 //
 //	rubikbench [-out dir] [-bench regexp] [-list]
 //	rubikbench -baseline dir   compare a fresh run against saved BENCH_*.json
+//
+// The repo commits a reference run under bench/baseline (see its
+// README), so `rubikbench -baseline bench/baseline` diffs the working
+// tree against the last recorded trajectory point without hunting for
+// CI artifacts.
 package main
 
 import (
@@ -78,8 +83,10 @@ func uniformPMF(n int) stats.PMF {
 // 6-core Rubik sockets behind socket-local JSQ at a fixed shard count.
 // The names are fixed (FleetSimulate1/2/4, never GOMAXPROCS-derived) so
 // the BENCH_*.json series stays comparable across runner shapes; the
-// 4-vs-1 ratio is the fleet engine's parallel speedup on that runner.
-func fleetBench(shards int) func(b *testing.B) {
+// 4-vs-1 ratio is the fleet engine's parallel speedup on that runner,
+// and the FleetSimulateCached/Uncached pair (tablecache 0 = fleet
+// default, -1 = off) is the rebuild cache's before/after.
+func fleetBench(shards, tablecache int) func(b *testing.B) {
 	return func(b *testing.B) {
 		const sockets, cores, nPer = 4, 6, 12000
 		app := workload.Masstree()
@@ -95,6 +102,7 @@ func fleetBench(shards int) func(b *testing.B) {
 				},
 				func(int, int) (rubik.Policy, error) { return rubik.NewController(500_000) })
 			cfg.Shards = shards
+			cfg.TableCacheEntries = tablecache
 			cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
 			res, err := rubik.SimulateFleet(cfg)
 			if err != nil {
@@ -102,6 +110,52 @@ func fleetBench(shards int) func(b *testing.B) {
 			}
 			if res.Served() != sockets*nPer {
 				b.Fatalf("served %d of %d", res.Served(), sockets*nPer)
+			}
+			if tablecache >= 0 && res.TableCache.Lookups() == 0 {
+				b.Fatal("rebuild cache never consulted")
+			}
+		}
+	}
+}
+
+// troughFleetBench mirrors bench_test.go's benchFleetTrough: a 2-socket
+// fleet in a diurnal-style trough (10% load) under a fine 2 ms control
+// cadence — the regime where table rebuilds dominate wall-clock and
+// profile windows repeat between ticks, so the
+// FleetSimulateCached/Uncached delta is what the rebuild cache is worth
+// where it matters (at the default 100 ms cadence the hit rate is ~0 and
+// the cache is neutral).
+func troughFleetBench(tablecache int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const sockets, cores, nPer = 2, 6, 2000
+		app := workload.Masstree()
+		sc, err := workload.ScenarioByName("bursty")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := rubik.NewFleet(sockets, cores,
+				func(s int) rubik.Source {
+					return sc.New(app, 0.1*cores, nPer, rubik.ShardSeed(3, s))
+				},
+				func(int, int) (rubik.Policy, error) {
+					rcfg := rubik.DefaultControllerConfig(500_000)
+					rcfg.UpdatePeriod = 2 * sim.Millisecond
+					return rubik.NewControllerWithConfig(rcfg)
+				})
+			cfg.Shards = 2
+			cfg.TableCacheEntries = tablecache
+			cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
+			res, err := rubik.SimulateFleet(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Served() != sockets*nPer {
+				b.Fatalf("served %d of %d", res.Served(), sockets*nPer)
+			}
+			if tablecache >= 0 && res.TableCache.Hits == 0 {
+				b.Fatal("trough fleet never hit the rebuild cache")
 			}
 		}
 	}
@@ -241,9 +295,36 @@ var benches = []struct {
 			}
 		}
 	}},
-	{"FleetSimulate1", fleetBench(1)},
-	{"FleetSimulate2", fleetBench(2)},
-	{"FleetSimulate4", fleetBench(4)},
+	{"TableCacheHit", func(b *testing.B) {
+		// The rebuild cache's hot hit path — fingerprint both PMFs,
+		// verify the full key, copy the table — vs TailTableBuild, the
+		// full convolution chain it short-circuits. Guard: 0 allocs/op.
+		histC, histM := profiledHistograms(8192)
+		tb, err := rubikcore.NewTableBuilder(0.95, 128, 8, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Cache = rubikcore.NewTableCache(4)
+		if _, _, err := tb.Rebuild(histC, histM); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tb.Rebuild(histC, histM); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if tb.CacheHits() == 0 {
+			b.Fatal("cached refreshes never hit")
+		}
+	}},
+	{"FleetSimulate1", fleetBench(1, 0)},
+	{"FleetSimulate2", fleetBench(2, 0)},
+	{"FleetSimulate4", fleetBench(4, 0)},
+	{"FleetSimulateCached", troughFleetBench(0)},
+	{"FleetSimulateUncached", troughFleetBench(-1)},
 	{"Engine", func(b *testing.B) {
 		eng := sim.NewEngine()
 		const handles = 16

@@ -9,6 +9,11 @@
 //	rubiksim -exp fig9 -out fig9.txt
 //	rubiksim -cap 24 -allocator waterfill    one capped 6-core cluster run
 //	rubiksim -sockets 64 -shards 4           sharded fleet run (per-core Rubik)
+//	rubiksim -exp fig6 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -cpuprofile/-memprofile write pprof profiles covering the whole run
+// (inspect with `go tool pprof`); -tablecache sizes the per-shard
+// rebuild cache of fleet runs (-1 disables it, 0 keeps the default).
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rubik"
@@ -69,9 +76,11 @@ func runCapped(w io.Writer, capW float64, allocator string, quick bool, seed int
 // runFleet simulates a multi-socket fleet with a fresh Rubik controller
 // per core and socket-local JSQ dispatch, sharded across event-loop
 // goroutines. Everything written to w is deterministic and invariant to
-// the shard count — CI diffs the -shards 1 and -shards 2 outputs
-// byte-for-byte — so timing and the resolved shard count go to stderr.
-func runFleet(w io.Writer, sockets, shards int, capW float64, allocator string, quick bool, seed int64) error {
+// both the shard count and the rebuild-cache setting — CI diffs the
+// -shards 1 vs -shards 2 and cached vs -tablecache=-1 outputs
+// byte-for-byte — so timing, the resolved shard count and the cache
+// statistics go to stderr.
+func runFleet(w io.Writer, sockets, shards, tablecache int, capW float64, allocator string, quick bool, seed int64) error {
 	app, err := rubik.AppByName("masstree")
 	if err != nil {
 		return err
@@ -95,6 +104,7 @@ func runFleet(w io.Writer, sockets, shards int, capW float64, allocator string, 
 		},
 		func(int, int) (rubik.Policy, error) { return rubik.NewController(bound) })
 	cfg.Shards = shards
+	cfg.TableCacheEntries = tablecache
 	cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
 	if capW > 0 {
 		alloc, err := rubik.AllocatorByName(allocator)
@@ -126,21 +136,30 @@ func runFleet(w io.Writer, sockets, shards int, capW float64, allocator string, 
 	}
 	fmt.Fprintf(os.Stderr, "rubiksim: fleet %d sockets on %d shards in %.2fs (%.0f simulated requests/s)\n",
 		sockets, res.Shards, elapsed.Seconds(), float64(res.Served())/elapsed.Seconds())
+	if cs := res.TableCache; cs.Lookups() > 0 {
+		fmt.Fprintf(os.Stderr, "rubiksim: table cache %d hits / %d lookups (%.1f%%), %d collisions, %d evictions\n",
+			cs.Hits, cs.Lookups(), 100*cs.HitRate(), cs.Collisions, cs.Evictions)
+	}
 	return nil
 }
 
-func main() {
+// run is main's body, returning an exit code instead of calling os.Exit
+// so profile- and output-file defers run on every path.
+func run() int {
 	var (
-		exp       = flag.String("exp", "", "experiment ID to run (see -list), or \"all\"")
-		list      = flag.Bool("list", false, "list available experiments")
-		quick     = flag.Bool("quick", false, "reduced request counts (smoke mode)")
-		seed      = flag.Int64("seed", 42, "random seed")
-		out       = flag.String("out", "", "write output to this file instead of stdout")
-		workers   = flag.Int("workers", 0, "parallel simulation fan-out (0 = GOMAXPROCS, 1 = sequential)")
-		capW      = flag.Float64("cap", 0, "run one capped 6-core cluster at this socket budget (W) instead of an experiment")
-		allocator = flag.String("allocator", "waterfill", "budget allocator for -cap (uniform, greedy-slack, waterfill)")
-		sockets   = flag.Int("sockets", 0, "run a sharded fleet with this many sockets instead of an experiment (-cap then sets the per-socket budget)")
-		shards    = flag.Int("shards", 0, "event-loop goroutines for -sockets (0 = GOMAXPROCS, clamped to the socket count)")
+		exp        = flag.String("exp", "", "experiment ID to run (see -list), or \"all\"")
+		list       = flag.Bool("list", false, "list available experiments")
+		quick      = flag.Bool("quick", false, "reduced request counts (smoke mode)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		out        = flag.String("out", "", "write output to this file instead of stdout")
+		workers    = flag.Int("workers", 0, "parallel simulation fan-out (0 = GOMAXPROCS, 1 = sequential)")
+		capW       = flag.Float64("cap", 0, "run one capped 6-core cluster at this socket budget (W) instead of an experiment")
+		allocator  = flag.String("allocator", "waterfill", "budget allocator for -cap (uniform, greedy-slack, waterfill)")
+		sockets    = flag.Int("sockets", 0, "run a sharded fleet with this many sockets instead of an experiment (-cap then sets the per-socket budget)")
+		shards     = flag.Int("shards", 0, "event-loop goroutines for -sockets (0 = GOMAXPROCS, clamped to the socket count)")
+		tablecache = flag.Int("tablecache", 0, "per-shard rebuild-cache entries for -sockets (0 = default, -1 = disable)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -148,11 +167,39 @@ func main() {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Description)
 		}
-		return
+		return 0
 	}
 	if *sockets <= 0 && *capW <= 0 && *exp == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rubiksim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rubiksim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rubiksim:", err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rubiksim:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var w io.Writer = os.Stdout
@@ -160,25 +207,25 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rubiksim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		w = f
 	}
 
 	if *sockets > 0 {
-		if err := runFleet(w, *sockets, *shards, *capW, *allocator, *quick, *seed); err != nil {
+		if err := runFleet(w, *sockets, *shards, *tablecache, *capW, *allocator, *quick, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "rubiksim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *capW > 0 {
 		if err := runCapped(w, *capW, *allocator, *quick, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "rubiksim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
@@ -194,8 +241,11 @@ func main() {
 		fmt.Fprintf(w, "== %s ==\n", id)
 		if err := experiments.RunAndRender(id, opts, w); err != nil {
 			fmt.Fprintln(os.Stderr, "rubiksim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(w, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	return 0
 }
+
+func main() { os.Exit(run()) }

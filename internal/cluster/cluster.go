@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"rubik/internal/capping"
+	rubikcore "rubik/internal/core"
 	"rubik/internal/queueing"
 	"rubik/internal/sim"
 	"rubik/internal/stats"
@@ -48,6 +49,25 @@ type Config struct {
 	PowerDomains [][]int
 	// Allocator is the budget strategy (default: capping.Waterfill).
 	Allocator capping.Allocator
+
+	// TableCache, when non-nil, is offered to every policy that
+	// implements TableCacheUser (core.Rubik does): their periodic tail-
+	// table rebuilds are then memoized content-addressed by the exact
+	// rebuild inputs, so byte-identical profiles rebuild once and share.
+	// Results are unchanged — a verified cache hit is bitwise-identical
+	// to rebuilding — so this is purely a throughput knob. Nil (the
+	// default, and the single-core path's default throughout) leaves
+	// every policy rebuilding privately. The cache is goroutine-confined:
+	// share one only across clusters simulated on the same goroutine
+	// (RunFleet hands every socket of a shard the same cache).
+	TableCache *rubikcore.TableCache
+}
+
+// TableCacheUser is implemented by policies whose periodic model refresh
+// can share a content-addressed rebuild cache (core.Rubik). buildCores
+// attaches Config.TableCache to every policy that implements it.
+type TableCacheUser interface {
+	SetTableCache(*rubikcore.TableCache)
 }
 
 // DefaultConfig returns a 6-core server with round-robin dispatch and
@@ -274,6 +294,11 @@ func buildCores(eng *sim.Engine, cfg Config) ([]*queueing.Core, error) {
 		p, err := cfg.NewPolicy(i)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: building policy for core %d: %w", i, err)
+		}
+		if cfg.TableCache != nil {
+			if u, ok := p.(TableCacheUser); ok {
+				u.SetTableCache(cfg.TableCache)
+			}
 		}
 		c, err := queueing.NewCore(eng, p, cfg.Core)
 		if err != nil {

@@ -4,13 +4,22 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rubik/internal/capping"
+	rubikcore "rubik/internal/core"
 	"rubik/internal/queueing"
 	"rubik/internal/sim"
 	"rubik/internal/stats"
 	"rubik/internal/workload"
 )
+
+// DefaultTableCacheEntries is the per-shard rebuild-cache bound RunFleet
+// uses when FleetConfig.TableCacheEntries is 0: enough for every core of
+// a socket to keep a few live profile windows resident (~5 KB per entry
+// at paper table dimensions), small enough that a thousand-socket fleet's
+// shards stay well under a megabyte each.
+const DefaultTableCacheEntries = 64
 
 // FleetConfig describes a fleet: Sockets independent core groups, each a
 // CoresPerSocket-core cluster with its own request source, dispatcher and
@@ -64,6 +73,29 @@ type FleetConfig struct {
 	// scratch lives in each socket's Domain), so one value serves every
 	// socket concurrently.
 	Allocator capping.Allocator
+
+	// TableCacheEntries sizes the per-shard content-addressed tail-table
+	// rebuild cache: every socket a shard goroutine simulates shares one
+	// cache, so byte-identical rebuild inputs — across ticks of one
+	// controller or across cores and sockets — run the FFT convolutions
+	// once. 0 (the default) enables a DefaultTableCacheEntries-entry
+	// cache — fleet mode is cached by default because a verified hit is
+	// bitwise-identical to rebuilding, so results are unchanged (the
+	// invariance tests and CI's cached-vs-uncached cmp pin this). < 0
+	// disables caching; > 0 sets an explicit bound.
+	TableCacheEntries int
+}
+
+// tableCacheEntries resolves the per-shard cache bound (0 = disabled).
+func (cfg FleetConfig) tableCacheEntries() int {
+	switch {
+	case cfg.TableCacheEntries < 0:
+		return 0
+	case cfg.TableCacheEntries == 0:
+		return DefaultTableCacheEntries
+	default:
+		return cfg.TableCacheEntries
+	}
 }
 
 // socketConfig assembles the per-socket cluster Config: socket s of a
@@ -113,6 +145,13 @@ type FleetResult struct {
 	Shards int
 	// Sockets holds each socket's cluster Result.
 	Sockets []Result
+	// TableCache sums the per-shard rebuild-cache outcomes (hits, misses,
+	// collisions, evictions); the zero value means caching was disabled
+	// or no policy used it. Reporting only: socket results are invariant
+	// to cache hits (a verified hit is bitwise-identical to rebuilding),
+	// but because work stealing assigns sockets to shards by timing, the
+	// aggregate counts themselves may differ between runs.
+	TableCache rubikcore.TableCacheStats
 }
 
 // coreLists flattens the fleet's per-core completion logs in global core
@@ -252,17 +291,29 @@ func (r FleetResult) Capping() []capping.DomainStats {
 
 // RunFleet simulates the fleet across cfg.Shards parallel event loops.
 //
-// Each shard goroutine owns a disjoint subset of sockets (round-robin:
-// shard k runs sockets k, k+shards, ...) and simulates them one after
-// another, each socket on its own sim.Engine via the single-engine
-// cluster path (RunSource). Sockets get dedicated engines rather than one
-// engine per shard because engine-global quantities — the end-of-run
-// clock that trailing idle-energy accounting accrues to — would otherwise
-// couple co-resident sockets, and co-residency buys nothing when sockets
-// share no state. The shard partition is therefore pure scheduling:
+// Sockets are scheduled by work stealing: shard goroutines claim the next
+// unclaimed socket from a shared atomic counter and simulate it to
+// completion, each socket on its own sim.Engine via the single-engine
+// cluster path (RunSource). Stealing replaced the earlier static
+// round-robin partition because per-socket loads are not uniform — one
+// heavy socket (a skewed request count, a binding cap stretching its
+// drain) used to stall its whole shard while sibling shards sat idle;
+// with a shared counter the finishing shards drain the remaining sockets
+// instead. Sockets get dedicated engines rather than one engine per shard
+// because engine-global quantities — the end-of-run clock that trailing
+// idle-energy accounting accrues to — would otherwise couple co-resident
+// sockets, and co-residency buys nothing when sockets share no state.
+// Sockets therefore stay shared-nothing and the schedule is pure timing:
 // socket s's Result is a function of (source, config) alone, so shard=N
-// output is deeply equal to shard=1 output for every N, and shard=1 is
-// the plain sequential loop over sockets.
+// output is deeply equal to shard=1 output for every N even though the
+// socket→shard assignment itself is nondeterministic.
+//
+// Each shard goroutine additionally owns one content-addressed tail-table
+// rebuild cache (see TableCacheEntries) handed to every socket it claims:
+// goroutine confinement keeps the cache lock-free, and a stolen socket
+// simply warms whichever shard's cache it lands on. Cache hits copy
+// bitwise-identical tables, so the shard-invariance property is
+// unaffected.
 func RunFleet(cfg FleetConfig) (FleetResult, error) {
 	if cfg.Sockets <= 0 {
 		return FleetResult{}, fmt.Errorf("cluster: fleet needs at least 1 socket, got %d", cfg.Sockets)
@@ -277,18 +328,33 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 
 	results := make([]Result, cfg.Sockets)
 	errs := make([]error, cfg.Sockets)
+	cacheStats := make([]rubikcore.TableCacheStats, shards)
+	var next atomic.Int64 // next unclaimed socket index
 	var wg sync.WaitGroup
 	for k := 0; k < shards; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			for s := k; s < cfg.Sockets; s += shards {
+			var cache *rubikcore.TableCache
+			if n := cfg.tableCacheEntries(); n > 0 {
+				cache = rubikcore.NewTableCache(n)
+			}
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= cfg.Sockets {
+					break
+				}
 				src := cfg.NewSource(s)
 				if src == nil {
 					errs[s] = fmt.Errorf("cluster: fleet socket %d: NewSource returned nil", s)
 					continue
 				}
-				results[s], errs[s] = RunSource(src, cfg.socketConfig(s))
+				c := cfg.socketConfig(s)
+				c.TableCache = cache
+				results[s], errs[s] = RunSource(src, c)
+			}
+			if cache != nil {
+				cacheStats[k] = cache.Stats()
 			}
 		}(k)
 	}
@@ -300,5 +366,9 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 			return FleetResult{}, fmt.Errorf("cluster: fleet socket %d: %w", s, err)
 		}
 	}
-	return FleetResult{Shards: shards, Sockets: results}, nil
+	out := FleetResult{Shards: shards, Sockets: results}
+	for _, st := range cacheStats {
+		out.TableCache.Add(st)
+	}
+	return out, nil
 }

@@ -37,6 +37,17 @@ type TableBuilder struct {
 	// for dropping the dominant rebuild cost at steady load.
 	DriftThreshold float64
 
+	// Cache, when non-nil, memoizes full rebuilds content-addressed by
+	// their exact inputs (both profiled PMFs plus the table shape): a
+	// refresh whose inputs match a cached rebuild bit for bit copies the
+	// cached table in place instead of re-running the convolutions, which
+	// is bitwise-indistinguishable from rebuilding because the pipeline
+	// is a pure function of that key. Nil (the default) rebuilds
+	// privately. The cache is shared across the builders of one goroutine
+	// (cluster.RunFleet hands every socket on a shard the same cache);
+	// like the builder itself it must not be shared across goroutines.
+	Cache *TableCache
+
 	percentile     float64
 	nbuckets       int
 	rows, maxQueue int
@@ -57,7 +68,13 @@ type TableBuilder struct {
 	// Drift-gate state: moments of the profiles at the last full rebuild.
 	haveProfile                              bool
 	lastMeanC, lastStdC, lastMeanM, lastStdM float64
-	builds, skips                            int
+	builds, skips, cacheHits                 int
+
+	// probe/probeFP are the cache key of the refresh in flight, kept on
+	// the builder (rather than finish's stack) so taking their address
+	// for cache calls does not heap-allocate a key per refresh.
+	probe   tableKey
+	probeFP uint64
 }
 
 // NewTableBuilder validates the table dimensions and returns a builder
@@ -112,6 +129,11 @@ func (b *TableBuilder) Builds() int { return b.builds }
 // Skips returns how many refreshes the drift gate short-circuited.
 func (b *TableBuilder) Skips() int { return b.skips }
 
+// CacheHits returns how many refreshes were answered by copying a cached
+// rebuild (always 0 with Cache nil; such refreshes count in neither
+// Builds nor Skips).
+func (b *TableBuilder) CacheHits() int { return b.cacheHits }
+
 // Rebuild refreshes the table from the profilers' current windows. It
 // returns the (builder-owned) table and whether a full rebuild happened:
 // false means the drift gate found both profiles within DriftThreshold of
@@ -145,8 +167,11 @@ func (b *TableBuilder) RebuildFromSamples(computeSamples, memSamples []float64) 
 	return b.finish()
 }
 
-// finish runs the drift gate and, when it does not fire, rebuilds the
-// table in place from b.distC/b.distM.
+// finish runs the drift gate and, when it does not fire, refreshes the
+// table from b.distC/b.distM — through the content-addressed cache when
+// one is attached (a verified hit copies the cached table in place,
+// bitwise-identical to rebuilding), by the full in-place rebuild
+// otherwise.
 func (b *TableBuilder) finish() (*TailTable, bool, error) {
 	meanC, varC := b.distC.Mean(), b.distC.Variance()
 	meanM, varM := b.distM.Mean(), b.distM.Variance()
@@ -157,14 +182,39 @@ func (b *TableBuilder) finish() (*TailTable, bool, error) {
 		b.skips++
 		return b.table, false, nil
 	}
+	if b.Cache != nil {
+		// The probe key aliases the builder's distribution buffers; the
+		// cache copies them only when it stores a new entry.
+		b.probe = tableKey{
+			percentile: b.percentile,
+			nbuckets:   b.nbuckets, rows: b.rows, maxQueue: b.maxQueue,
+			distC: b.distC, distM: b.distM,
+		}
+		b.probeFP = b.Cache.fingerprint(&b.probe)
+		if cached := b.Cache.lookup(b.probeFP, &b.probe); cached != nil {
+			b.table.copyFrom(cached)
+			b.noteProfile(meanC, stdC, meanM, stdM)
+			b.cacheHits++
+			return b.table, true, nil
+		}
+	}
 	if err := b.table.Rebuild(b, meanC, varC, meanM, varM); err != nil {
 		return nil, false, err
 	}
+	if b.Cache != nil {
+		b.Cache.insert(b.probeFP, &b.probe, b.table)
+	}
+	b.noteProfile(meanC, stdC, meanM, stdM)
+	b.builds++
+	return b.table, true, nil
+}
+
+// noteProfile records the profile moments a refresh acted on, the state
+// the drift gate measures later refreshes against.
+func (b *TableBuilder) noteProfile(meanC, stdC, meanM, stdM float64) {
 	b.lastMeanC, b.lastStdC = meanC, stdC
 	b.lastMeanM, b.lastStdM = meanM, stdM
 	b.haveProfile = true
-	b.builds++
-	return b.table, true, nil
 }
 
 // relDrift measures how far a profile moved relative to its previous

@@ -129,6 +129,10 @@ type Rubik struct {
 	// nothing.
 	builder *TableBuilder
 	table   *TailTable
+	// cache, when set, is the shared content-addressed rebuild cache the
+	// builder consults (fleet mode: one per shard, handed to every
+	// controller simulated on that shard's goroutine).
+	cache *TableCache
 
 	// Feedback state.
 	respWindow *stats.RollingWindow
@@ -266,6 +270,7 @@ func (r *Rubik) rebuild() error {
 			return err
 		}
 		b.DriftThreshold = r.cfg.DriftThreshold
+		b.Cache = r.cache
 		r.builder = b
 	}
 	t, rebuilt, err := r.builder.Rebuild(r.histC, r.histM)
@@ -452,6 +457,30 @@ func (r *Rubik) TableBuilds() int { return r.tableBuilds }
 // TableSkips returns how many periodic refreshes the drift gate
 // short-circuited (always 0 with Config.DriftThreshold == 0).
 func (r *Rubik) TableSkips() int { return r.tableSkips }
+
+// SetTableCache shares a content-addressed rebuild cache with the
+// controller: periodic refreshes whose profile inputs match a cached
+// rebuild bit for bit copy the cached table instead of re-running the
+// convolutions, with bitwise-identical results. The cache is confined to
+// one goroutine — attach the same cache only to controllers simulated on
+// the same event loop (cluster.Config.TableCache does this per cluster,
+// cluster.RunFleet per shard). Call before simulation starts; nil
+// detaches. Implements cluster.TableCacheUser.
+func (r *Rubik) SetTableCache(c *TableCache) {
+	r.cache = c
+	if r.builder != nil {
+		r.builder.Cache = c
+	}
+}
+
+// TableCacheHits returns how many refreshes the shared rebuild cache
+// answered (always 0 without SetTableCache).
+func (r *Rubik) TableCacheHits() int {
+	if r.builder == nil {
+		return 0
+	}
+	return r.builder.CacheHits()
+}
 
 // SampleCount returns the number of profiled requests currently in the
 // rolling window.

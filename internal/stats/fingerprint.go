@@ -1,0 +1,57 @@
+package stats
+
+import "math"
+
+// Hash64 is an incremental FNV-1a fingerprint over raw value bits. It is
+// the content-addressing primitive behind the tail-table rebuild cache:
+// two inputs hash equal exactly when their binary representations are
+// byte-identical, which is the precondition for sharing the output of a
+// bit-deterministic pipeline. Floats are hashed through Float64bits, so
+// +0 and -0 (which compare ==) fingerprint differently — deliberately
+// conservative: a spurious mismatch costs one redundant rebuild, a
+// spurious match would corrupt results. Hash64 is a value; every method
+// returns the advanced state, so fingerprints compose by chaining without
+// allocating.
+//
+// FNV-1a is not collision-free over these input sizes; callers that cache
+// by fingerprint must verify the full key on a hash hit (see
+// core.TableCache).
+type Hash64 uint64
+
+const (
+	fnvOffset64 Hash64 = 14695981039346656037
+	fnvPrime64  Hash64 = 1099511628211
+)
+
+// NewHash64 returns the FNV-1a initial state.
+func NewHash64() Hash64 { return fnvOffset64 }
+
+// Uint64 folds the eight bytes of v into the hash, low byte first.
+func (h Hash64) Uint64(v uint64) Hash64 {
+	for i := 0; i < 8; i++ {
+		h ^= Hash64(v & 0xff)
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Float64 folds the raw IEEE-754 bits of v into the hash.
+func (h Hash64) Float64(v float64) Hash64 { return h.Uint64(math.Float64bits(v)) }
+
+// Int folds v into the hash.
+func (h Hash64) Int(v int) Hash64 { return h.Uint64(uint64(int64(v))) }
+
+// Float64s folds a length prefix and every element's raw bits into the
+// hash. The prefix keeps concatenated slices from aliasing: hashing
+// [a] then [b] differs from hashing [a, b].
+func (h Hash64) Float64s(s []float64) Hash64 {
+	h = h.Int(len(s))
+	for _, v := range s {
+		h = h.Float64(v)
+	}
+	return h
+}
+
+// Sum returns the current fingerprint.
+func (h Hash64) Sum() uint64 { return uint64(h) }

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// TestHash64MatchesStdFNV pins Hash64 to the standard library's FNV-1a:
+// folding a uint64 low byte first must equal hashing those eight bytes
+// through hash/fnv.
+func TestHash64MatchesStdFNV(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xff, 1 << 63, 0xdeadbeefcafef00d, math.MaxUint64} {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		ref := fnv.New64a()
+		ref.Write(b[:])
+		if got := NewHash64().Uint64(v).Sum(); got != ref.Sum64() {
+			t.Errorf("Uint64(%#x) = %#x, want FNV-1a %#x", v, got, ref.Sum64())
+		}
+	}
+}
+
+// TestHash64Deterministic checks that identical chains produce identical
+// fingerprints and that every folded value influences the result.
+func TestHash64Deterministic(t *testing.T) {
+	build := func() uint64 {
+		return NewHash64().Float64(0.95).Int(128).Float64s([]float64{0.25, 0.75}).Sum()
+	}
+	if build() != build() {
+		t.Fatal("same chain hashed to different fingerprints")
+	}
+	base := build()
+	variants := []uint64{
+		NewHash64().Float64(0.99).Int(128).Float64s([]float64{0.25, 0.75}).Sum(),
+		NewHash64().Float64(0.95).Int(64).Float64s([]float64{0.25, 0.75}).Sum(),
+		NewHash64().Float64(0.95).Int(128).Float64s([]float64{0.25, 0.5}).Sum(),
+		NewHash64().Float64(0.95).Int(128).Float64s([]float64{0.75, 0.25}).Sum(),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d hashed equal to base %#x", i, base)
+		}
+	}
+}
+
+// TestHash64BitSensitivity checks the raw-bits contract: +0 and -0
+// compare == as floats but must fingerprint differently.
+func TestHash64BitSensitivity(t *testing.T) {
+	pos := NewHash64().Float64(0.0).Sum()
+	neg := NewHash64().Float64(math.Copysign(0, -1)).Sum()
+	if pos == neg {
+		t.Fatal("+0 and -0 fingerprint equal; hash must see raw bits")
+	}
+}
+
+// TestHash64LengthPrefix checks that slice boundaries are part of the
+// fingerprint: the same values split differently must hash differently.
+func TestHash64LengthPrefix(t *testing.T) {
+	joined := NewHash64().Float64s([]float64{1, 2}).Float64s(nil).Sum()
+	split := NewHash64().Float64s([]float64{1}).Float64s([]float64{2}).Sum()
+	if joined == split {
+		t.Fatal("[1,2]+[] and [1]+[2] fingerprint equal; length prefix missing")
+	}
+}

@@ -115,9 +115,21 @@ type (
 	// to the shard count.
 	FleetConfig = cluster.FleetConfig
 	// FleetResult is the outcome of a fleet run: one ClusterResult per
-	// socket, with pooled tails/energy and a streaming completion merge
-	// (IterCompletions) that never materializes the fleet's request log.
+	// socket, with pooled tails/energy, a streaming completion merge
+	// (IterCompletions) that never materializes the fleet's request log,
+	// and the aggregate rebuild-cache statistics (TableCache).
 	FleetResult = cluster.FleetResult
+	// TableCache is a bounded, content-addressed memo of tail-table
+	// rebuilds: refreshes whose profiled inputs match a cached rebuild bit
+	// for bit copy the cached table instead of re-running the FFT
+	// convolutions, with bitwise-identical results. Goroutine-confined —
+	// fleet runs create one per shard automatically
+	// (FleetConfig.TableCacheEntries); attach one by hand via
+	// ClusterConfig.TableCache or Controller.SetTableCache.
+	TableCache = rubikcore.TableCache
+	// TableCacheStats counts rebuild-cache outcomes (hits, misses,
+	// fingerprint collisions, evictions).
+	TableCacheStats = rubikcore.TableCacheStats
 	// Source is a pull-based request stream: the streaming counterpart of
 	// a Trace. Simulations consume sources without materializing them, so
 	// run length is bounded by time, not memory.
@@ -141,6 +153,14 @@ type (
 
 // NominalMHz is the nominal core frequency (2.4 GHz, paper Table 2).
 const NominalMHz = cpu.NominalMHz
+
+// DefaultTableCacheEntries is the per-shard rebuild-cache capacity fleet
+// runs use when FleetConfig.TableCacheEntries is 0.
+const DefaultTableCacheEntries = cluster.DefaultTableCacheEntries
+
+// NewTableCache returns a rebuild cache bounded at the given entry count
+// (at least 1). One cache per goroutine: it does not synchronize.
+func NewTableCache(entries int) *TableCache { return rubikcore.NewTableCache(entries) }
 
 // TailPercentile is the paper's tail definition (95th percentile).
 const TailPercentile = 0.95
@@ -295,7 +315,9 @@ func SimulateClusterPerCore(srcs []Source, cfg ClusterConfig) (ClusterResult, er
 // per-socket seeds with ShardSeed) under fresh per-core policies from
 // newPolicy. Dispatch defaults to per-socket round-robin and the shard
 // count to GOMAXPROCS; set the returned config's NewDispatcher, Shards,
-// CapW and Allocator fields to override.
+// CapW and Allocator fields to override. Rebuild caching is on by
+// default (one TableCache of DefaultTableCacheEntries per shard); tune
+// or disable it with the TableCacheEntries field.
 func NewFleet(sockets, coresPerSocket int, newSource func(socket int) Source,
 	newPolicy func(socket, core int) (Policy, error)) FleetConfig {
 	return cluster.FleetConfig{
@@ -307,11 +329,11 @@ func NewFleet(sockets, coresPerSocket int, newSource func(socket int) Source,
 	}
 }
 
-// SimulateFleet runs a fleet across its configured shard count: each
-// shard goroutine simulates a disjoint subset of sockets on dedicated
-// event loops, and the per-socket results merge deterministically —
-// shard=N output is deeply equal to shard=1, which is the plain
-// sequential loop over the sockets.
+// SimulateFleet runs a fleet across its configured shard count: shard
+// goroutines steal sockets from a shared work queue and simulate each on
+// a dedicated event loop, and the per-socket results merge
+// deterministically — shard=N output is deeply equal to shard=1, which
+// is the plain sequential loop over the sockets.
 func SimulateFleet(cfg FleetConfig) (FleetResult, error) {
 	return cluster.RunFleet(cfg)
 }
