@@ -111,6 +111,40 @@ func BenchmarkTailTableBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkTailTableBuildPacked pins the packed real-FFT rebuild pipeline
+// explicitly (it is the builder default, so it matches
+// BenchmarkTailTableBuild today); BenchmarkTailTableBuildRef is the
+// reference complex pipeline — the pair is the packed pipeline's
+// before/after at the paper's table shape.
+func BenchmarkTailTableBuildPacked(b *testing.B) { benchTailTableBuildPipeline(b, true) }
+func BenchmarkTailTableBuildRef(b *testing.B)    { benchTailTableBuildPipeline(b, false) }
+
+func benchTailTableBuildPipeline(b *testing.B, packed bool) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	histC := stats.NewHistogram(4096)
+	histM := stats.NewHistogram(4096)
+	for i := 0; i < 4096; i++ {
+		histC.Push(250e3 * (0.5 + r.Float64()))
+		histM.Push(20e3 * (0.5 + r.Float64()))
+	}
+	tb, err := rubikcore.NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Packed = packed
+	if _, _, err := tb.Rebuild(histC, histM); err != nil { // warm buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tb.Rebuild(histC, histM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTailTableBuildOneShot measures the allocate-everything one-shot
 // entry point the builder replaced on the periodic path; the gap between
 // this and BenchmarkTailTableBuild is what holding a builder buys.
@@ -473,6 +507,44 @@ func BenchmarkConvolutionFFT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := plan.IterConvolutionsInto(dst, d, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvolutionPacked runs both 16-position self-convolution
+// chains in one packed real-FFT pass — one forward transform, Hermitian
+// half-spectrum power steps, size-pruned fused inverses. Compare against
+// 2x BenchmarkConvolutionFFT, the two independent reference chains a
+// rebuild would otherwise run.
+func BenchmarkConvolutionPacked(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	mk := func() stats.PMF {
+		p := make([]float64, 128)
+		var tot float64
+		for i := range p {
+			p[i] = r.Float64()
+			tot += p[i]
+		}
+		for i := range p {
+			p[i] /= tot
+		}
+		return stats.PMF{Origin: 0, Width: 1000, P: p}
+	}
+	c, m := mk(), mk()
+	plan, err := stats.NewPackedConvolutionPlan(stats.PackedPlanSizeFor(128, 128, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dstC := make([]stats.PMF, 16)
+	dstM := make([]stats.PMF, 16)
+	if err := plan.IterSelfConvolutionsInto(dstC, dstM, c, m); err != nil { // warm buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := plan.IterSelfConvolutionsInto(dstC, dstM, c, m); err != nil {
 			b.Fatal(err)
 		}
 	}

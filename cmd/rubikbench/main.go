@@ -9,11 +9,13 @@
 //
 //	rubikbench [-out dir] [-bench regexp] [-list]
 //	rubikbench -baseline dir   compare a fresh run against saved BENCH_*.json
+//	rubikbench -baseline dir -gate 15   additionally exit 3 on a >15% ns/op regression
 //
 // The repo commits a reference run under bench/baseline (see its
 // README), so `rubikbench -baseline bench/baseline` diffs the working
 // tree against the last recorded trajectory point without hunting for
-// CI artifacts.
+// CI artifacts; CI runs that diff with -gate 15 and annotates the build
+// on regressions.
 package main
 
 import (
@@ -184,6 +186,46 @@ var benches = []struct {
 			}
 		}
 	}},
+	{"TailTableBuildPacked", func(b *testing.B) {
+		// Same rebuild as TailTableBuild with the packed pipeline pinned
+		// explicitly (it is the builder default), so the name survives any
+		// future default change; TailTableBuildRef is the reference
+		// complex pipeline the packed one is measured against.
+		histC, histM := profiledHistograms(4096)
+		tb, err := rubikcore.NewTableBuilder(0.95, 128, 8, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Packed = true
+		if _, _, err := tb.Rebuild(histC, histM); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tb.Rebuild(histC, histM); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"TailTableBuildRef", func(b *testing.B) {
+		histC, histM := profiledHistograms(4096)
+		tb, err := rubikcore.NewTableBuilder(0.95, 128, 8, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Packed = false
+		if _, _, err := tb.Rebuild(histC, histM); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tb.Rebuild(histC, histM); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
 	{"TailTableBuildOneShot", func(b *testing.B) {
 		comp, mem := profiledSamples(4096)
 		b.ReportAllocs()
@@ -208,6 +250,29 @@ var benches = []struct {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := plan.IterConvolutionsInto(dst, d, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"ConvolutionPacked", func(b *testing.B) {
+		// Both 16-position chains in one packed pass — compare against
+		// 2x ConvolutionFFT, the two independent reference chains it
+		// replaces inside a rebuild.
+		c := uniformPMF(128)
+		m := uniformPMF(128)
+		plan, err := stats.NewPackedConvolutionPlan(stats.PackedPlanSizeFor(128, 128, 16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dstC := make([]stats.PMF, 16)
+		dstM := make([]stats.PMF, 16)
+		if err := plan.IterSelfConvolutionsInto(dstC, dstM, c, m); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.IterSelfConvolutionsInto(dstC, dstM, c, m); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -424,6 +489,7 @@ func main() {
 	pattern := flag.String("bench", ".", "regexp selecting benchmarks to run")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	baseline := flag.String("baseline", "", "BENCH_*.json dir (or one file) to diff the fresh run against")
+	gate := flag.Float64("gate", 0, "with -baseline: exit 3 when any benchmark regresses more than this percent in ns/op")
 	flag.Parse()
 
 	re, err := regexp.Compile(*pattern)
@@ -449,6 +515,7 @@ func main() {
 		os.Exit(1)
 	}
 	ran := 0
+	var regressions []string
 	for _, bm := range benches {
 		if !re.MatchString(bm.name) {
 			continue
@@ -485,6 +552,13 @@ func main() {
 				fmt.Printf("%-24s %12.0f ns/op (%s) %15d allocs/op (%s)\n",
 					"  vs baseline", b.NsPerOp, deltaPct(b.NsPerOp, res.NsPerOp),
 					b.AllocsPerOp, deltaPct(float64(b.AllocsPerOp), float64(res.AllocsPerOp)))
+				if *gate > 0 && b.NsPerOp > 0 {
+					if pct := 100 * (res.NsPerOp - b.NsPerOp) / b.NsPerOp; pct > *gate {
+						regressions = append(regressions, fmt.Sprintf(
+							"%s: %.0f -> %.0f ns/op (%+.1f%%, gate %.1f%%)",
+							bm.name, b.NsPerOp, res.NsPerOp, pct, *gate))
+					}
+				}
 			} else {
 				fmt.Printf("%-24s (not in baseline)\n", "  vs baseline")
 			}
@@ -493,5 +567,11 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "rubikbench: no benchmarks match %q\n", *pattern)
 		os.Exit(1)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "rubikbench: regression: %s\n", r)
+		}
+		os.Exit(3)
 	}
 }

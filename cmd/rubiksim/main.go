@@ -13,7 +13,10 @@
 //
 // -cpuprofile/-memprofile write pprof profiles covering the whole run
 // (inspect with `go tool pprof`); -tablecache sizes the per-shard
-// rebuild cache of fleet runs (-1 disables it, 0 keeps the default).
+// rebuild cache of fleet runs (-1 disables it, 0 keeps the default);
+// -packedfft=false switches the -cap/-sockets controllers from the
+// packed real-FFT rebuild pipeline (the default) back to the reference
+// complex pipeline — output is identical, only rebuild cost changes.
 package main
 
 import (
@@ -33,7 +36,7 @@ import (
 // JSQ dispatch, bursty traffic) and prints the pooled tails plus the
 // power-domain accounting — the quick way to poke at a cap level and
 // allocator without running the full capping experiment sweep.
-func runCapped(w io.Writer, capW float64, allocator string, quick bool, seed int64) error {
+func runCapped(w io.Writer, capW float64, allocator string, packed, quick bool, seed int64) error {
 	alloc, err := rubik.AllocatorByName(allocator)
 	if err != nil {
 		return err
@@ -56,7 +59,7 @@ func runCapped(w io.Writer, capW float64, allocator string, quick bool, seed int
 		return err
 	}
 	cfg := rubik.NewCappedCluster(cores, rubik.JSQDispatcher(), capW, alloc,
-		func(int) (rubik.Policy, error) { return rubik.NewController(bound) })
+		func(int) (rubik.Policy, error) { return newController(bound, packed) })
 	res, err := rubik.SimulateClusterSource(src, cfg)
 	if err != nil {
 		return err
@@ -80,7 +83,7 @@ func runCapped(w io.Writer, capW float64, allocator string, quick bool, seed int
 // -shards 1 vs -shards 2 and cached vs -tablecache=-1 outputs
 // byte-for-byte — so timing, the resolved shard count and the cache
 // statistics go to stderr.
-func runFleet(w io.Writer, sockets, shards, tablecache int, capW float64, allocator string, quick bool, seed int64) error {
+func runFleet(w io.Writer, sockets, shards, tablecache int, capW float64, allocator string, packed, quick bool, seed int64) error {
 	app, err := rubik.AppByName("masstree")
 	if err != nil {
 		return err
@@ -102,7 +105,7 @@ func runFleet(w io.Writer, sockets, shards, tablecache int, capW float64, alloca
 			}
 			return src
 		},
-		func(int, int) (rubik.Policy, error) { return rubik.NewController(bound) })
+		func(int, int) (rubik.Policy, error) { return newController(bound, packed) })
 	cfg.Shards = shards
 	cfg.TableCacheEntries = tablecache
 	cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
@@ -143,6 +146,14 @@ func runFleet(w io.Writer, sockets, shards, tablecache int, capW float64, alloca
 	return nil
 }
 
+// newController builds a paper-parameter Rubik controller with the
+// rebuild pipeline chosen by -packedfft.
+func newController(boundNs float64, packed bool) (rubik.Policy, error) {
+	cfg := rubik.DefaultControllerConfig(boundNs)
+	cfg.PackedFFT = packed
+	return rubik.NewControllerWithConfig(cfg)
+}
+
 // run is main's body, returning an exit code instead of calling os.Exit
 // so profile- and output-file defers run on every path.
 func run() int {
@@ -158,6 +169,7 @@ func run() int {
 		sockets    = flag.Int("sockets", 0, "run a sharded fleet with this many sockets instead of an experiment (-cap then sets the per-socket budget)")
 		shards     = flag.Int("shards", 0, "event-loop goroutines for -sockets (0 = GOMAXPROCS, clamped to the socket count)")
 		tablecache = flag.Int("tablecache", 0, "per-shard rebuild-cache entries for -sockets (0 = default, -1 = disable)")
+		packedfft  = flag.Bool("packedfft", true, "use the packed real-FFT table-rebuild pipeline (false = reference complex pipeline)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -214,14 +226,14 @@ func run() int {
 	}
 
 	if *sockets > 0 {
-		if err := runFleet(w, *sockets, *shards, *tablecache, *capW, *allocator, *quick, *seed); err != nil {
+		if err := runFleet(w, *sockets, *shards, *tablecache, *capW, *allocator, *packedfft, *quick, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "rubiksim:", err)
 			return 1
 		}
 		return 0
 	}
 	if *capW > 0 {
-		if err := runCapped(w, *capW, *allocator, *quick, *seed); err != nil {
+		if err := runCapped(w, *capW, *allocator, *packedfft, *quick, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "rubiksim:", err)
 			return 1
 		}

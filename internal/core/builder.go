@@ -48,6 +48,20 @@ type TableBuilder struct {
 	// like the builder itself it must not be shared across goroutines.
 	Cache *TableCache
 
+	// Packed selects the packed real-FFT rebuild pipeline
+	// (stats.PackedConvolutionPlan): both convolution chains ride one
+	// complex transform with Hermitian half-spectra and size-pruned
+	// inverses, cutting the rebuild's transform count from 36 to 17 at
+	// the paper shape. NewTableBuilder enables it; clear the field to
+	// fall back to the reference complex pipeline, whose results are
+	// bitwise-equal to the naive convolutions. The packed pipeline
+	// rounds differently at the ulp level but is equally deterministic;
+	// its outputs are property- and fuzz-tested against the reference
+	// within a tight error bound, and in practice the quantile-bucketed
+	// tables built from either pipeline come out bit-identical (the
+	// equivalence tests pin that for every experiment scenario shape).
+	Packed bool
+
 	percentile     float64
 	nbuckets       int
 	rows, maxQueue int
@@ -56,12 +70,19 @@ type TableBuilder struct {
 	// fixed by (nbuckets, maxQueue) in steady state; degenerate profiles
 	// (all samples equal -> single-bucket PMF) briefly need a smaller one.
 	plans map[int]*stats.ConvolutionPlan
+	// packedPlans is the packed-pipeline counterpart, keyed by the
+	// unified transform size of the chain pair.
+	packedPlans map[int]*stats.PackedConvolutionPlan
 
 	// Reused buffers, sized on first use.
 	distC, distM   stats.PMF
 	convC, convM   []stats.PMF
 	exactC, exactM []float64
 	condC, condM   []float64
+	// cumC/cumM hold each profiled distribution's running mass, computed
+	// once per rebuild so every row-bound quantile is answered from the
+	// same pass instead of rescanning the PMF per row.
+	cumC, cumM []float64
 
 	table *TailTable
 
@@ -104,18 +125,22 @@ func NewTableBuilder(percentile float64, nbuckets, rows, maxQueue int) (*TableBu
 		t.m[r] = make([]float64, maxQueue)
 	}
 	return &TableBuilder{
-		percentile: percentile,
-		nbuckets:   nbuckets,
-		rows:       rows,
-		maxQueue:   maxQueue,
-		plans:      map[int]*stats.ConvolutionPlan{},
-		convC:      make([]stats.PMF, maxQueue),
-		convM:      make([]stats.PMF, maxQueue),
-		exactC:     make([]float64, maxQueue),
-		exactM:     make([]float64, maxQueue),
-		condC:      make([]float64, nbuckets),
-		condM:      make([]float64, nbuckets),
-		table:      t,
+		Packed:      true,
+		percentile:  percentile,
+		nbuckets:    nbuckets,
+		rows:        rows,
+		maxQueue:    maxQueue,
+		plans:       map[int]*stats.ConvolutionPlan{},
+		packedPlans: map[int]*stats.PackedConvolutionPlan{},
+		convC:       make([]stats.PMF, maxQueue),
+		convM:       make([]stats.PMF, maxQueue),
+		exactC:      make([]float64, maxQueue),
+		exactM:      make([]float64, maxQueue),
+		condC:       make([]float64, nbuckets),
+		condM:       make([]float64, nbuckets),
+		cumC:        make([]float64, nbuckets),
+		cumM:        make([]float64, nbuckets),
+		table:       t,
 	}, nil
 }
 
@@ -188,7 +213,8 @@ func (b *TableBuilder) finish() (*TailTable, bool, error) {
 		b.probe = tableKey{
 			percentile: b.percentile,
 			nbuckets:   b.nbuckets, rows: b.rows, maxQueue: b.maxQueue,
-			distC: b.distC, distM: b.distM,
+			packed: b.Packed,
+			distC:  b.distC, distM: b.distM,
 		}
 		b.probeFP = b.Cache.fingerprint(&b.probe)
 		if cached := b.Cache.lookup(b.probeFP, &b.probe); cached != nil {
@@ -241,5 +267,19 @@ func (b *TableBuilder) planFor(n int) (*stats.ConvolutionPlan, error) {
 		return nil, err
 	}
 	b.plans[n] = p
+	return p, nil
+}
+
+// packedPlanFor returns the cached packed plan for unified transform
+// size n, building it on first use.
+func (b *TableBuilder) packedPlanFor(n int) (*stats.PackedConvolutionPlan, error) {
+	if p, ok := b.packedPlans[n]; ok {
+		return p, nil
+	}
+	p, err := stats.NewPackedConvolutionPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	b.packedPlans[n] = p
 	return p, nil
 }

@@ -89,14 +89,24 @@ func (s *TableCacheStats) Add(o TableCacheStats) {
 type tableKey struct {
 	percentile               float64
 	nbuckets, rows, maxQueue int
-	distC, distM             stats.PMF
+	// packed records which rebuild pipeline produced the table. The two
+	// pipelines agree within an error bound but not bit for bit, and the
+	// cache contract is "a verified hit is bitwise-indistinguishable
+	// from rebuilding", so a table built by one pipeline must never
+	// answer a refresh running the other.
+	packed       bool
+	distC, distM stats.PMF
 }
 
 // fingerprintKey hashes the key's raw bits with FNV-1a.
 func fingerprintKey(k *tableKey) uint64 {
+	packed := 0
+	if k.packed {
+		packed = 1
+	}
 	return stats.NewHash64().
 		Float64(k.percentile).
-		Int(k.nbuckets).Int(k.rows).Int(k.maxQueue).
+		Int(k.nbuckets).Int(k.rows).Int(k.maxQueue).Int(packed).
 		Float64(k.distC.Origin).Float64(k.distC.Width).Float64s(k.distC.P).
 		Float64(k.distM.Origin).Float64(k.distM.Width).Float64s(k.distM.P).
 		Sum()
@@ -107,6 +117,7 @@ func fingerprintKey(k *tableKey) uint64 {
 func (k *tableKey) matches(probe *tableKey) bool {
 	return math.Float64bits(k.percentile) == math.Float64bits(probe.percentile) &&
 		k.nbuckets == probe.nbuckets && k.rows == probe.rows && k.maxQueue == probe.maxQueue &&
+		k.packed == probe.packed &&
 		pmfBitsEqual(k.distC, probe.distC) && pmfBitsEqual(k.distM, probe.distM)
 }
 
@@ -130,6 +141,7 @@ func pmfBitsEqual(a, b stats.PMF) bool {
 func (k *tableKey) storeKey(probe *tableKey) {
 	k.percentile = probe.percentile
 	k.nbuckets, k.rows, k.maxQueue = probe.nbuckets, probe.rows, probe.maxQueue
+	k.packed = probe.packed
 	k.distC.Origin, k.distC.Width = probe.distC.Origin, probe.distC.Width
 	k.distC.P = resizeCopy(k.distC.P, probe.distC.P)
 	k.distM.Origin, k.distM.Width = probe.distM.Origin, probe.distM.Width

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rubik/internal/stats"
+)
+
+// TestPackedPipelineDefaultOn pins the rollout switches: fresh builders
+// run the packed pipeline, DefaultConfig exposes it enabled, and clearing
+// Config.PackedFFT reaches the builder.
+func TestPackedPipelineDefaultOn(t *testing.T) {
+	b, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Packed {
+		t.Fatal("NewTableBuilder must default to the packed pipeline")
+	}
+	cfg := DefaultConfig(1e6)
+	if !cfg.PackedFFT {
+		t.Fatal("DefaultConfig must enable PackedFFT")
+	}
+	cfg.PackedFFT = false
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	comp, mem := randomSamples(rng, 256)
+	if err := r.Bootstrap(comp, mem); err != nil {
+		t.Fatal(err)
+	}
+	if r.builder.Packed {
+		t.Fatal("PackedFFT=false must reach the builder")
+	}
+}
+
+// TestPackedBuilderMatchesReferenceTables sweeps packed and reference
+// builders over the same profile windows and table shapes and requires
+// the finished tables to be bit-for-bit identical. The two convolution
+// pipelines differ at the ulp level, but every table entry is a
+// bucket-edge quantile of the convolved rows, and the quantile's 1e-12
+// bucket slack absorbs that noise on these (realistic, continuously
+// distributed) profiles — this is the property that lets packed become
+// the default without re-pinning a single golden. Fixed seeds keep the
+// sweep deterministic; the universal (bound-level) guarantee lives in
+// the stats property and fuzz tests.
+func TestPackedBuilderMatchesReferenceTables(t *testing.T) {
+	shapes := []struct {
+		nbuckets, rows, maxQueue int
+	}{
+		{128, 8, 16}, // paper shape
+		{64, 4, 8},
+		{32, 1, 4},
+		{130, 8, 16}, // non-power-of-two buckets
+		{1, 2, 3},
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for _, shape := range shapes {
+			packed, err := NewTableBuilder(0.95, shape.nbuckets, shape.rows, shape.maxQueue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewTableBuilder(0.95, shape.nbuckets, shape.rows, shape.maxQueue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Packed = false
+			histC, histM := stats.NewHistogram(512), stats.NewHistogram(512)
+			// Two sliding-window refreshes per builder pair.
+			for round := 0; round < 2; round++ {
+				comp, mem := randomSamples(r, 128+r.Intn(256))
+				for i := range comp {
+					histC.Push(comp[i])
+					histM.Push(mem[i])
+				}
+				got, _, err := packed.Rebuild(histC, histM)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := ref.Rebuild(histC, histM)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tablesBitwiseEqual(t, got, want)
+			}
+		}
+	}
+
+	// Degenerate all-equal profiles collapse to delta chains; both
+	// pipelines must still agree exactly.
+	packed, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Packed = false
+	histC, histM := stats.NewHistogram(64), stats.NewHistogram(64)
+	for i := 0; i < 50; i++ {
+		histC.Push(1e5)
+		histM.Push(2e4)
+	}
+	got, _, err := packed.Rebuild(histC, histM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ref.Rebuild(histC, histM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesBitwiseEqual(t, got, want)
+}
+
+// TestPackedCacheKeySeparation checks that the rebuild cache never serves
+// a table across pipelines: the cache contract is "a verified hit is
+// bitwise-indistinguishable from rebuilding", and the pipelines are only
+// equal within an error bound, so the packed bit is part of the key.
+func TestPackedCacheKeySeparation(t *testing.T) {
+	cache := NewTableCache(8)
+	packed, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed.Cache = cache
+	ref, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Packed = false
+	ref.Cache = cache
+
+	r := rand.New(rand.NewSource(5))
+	histC, histM := stats.NewHistogram(512), stats.NewHistogram(512)
+	comp, mem := randomSamples(r, 512)
+	for i := range comp {
+		histC.Push(comp[i])
+		histM.Push(mem[i])
+	}
+
+	if _, _, err := packed.Rebuild(histC, histM); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Hits; got != 0 {
+		t.Fatalf("first packed rebuild hit the cache (%d hits)", got)
+	}
+	// Same profile through the reference builder: the packed entry must
+	// not answer it.
+	if _, _, err := ref.Rebuild(histC, histM); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Hits; got != 0 {
+		t.Fatalf("reference rebuild was served a packed table (%d hits)", got)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want one per pipeline", cache.Len())
+	}
+	// Same pipeline, same profile: now it hits.
+	packed2, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed2.Cache = cache
+	if _, _, err := packed2.Rebuild(histC, histM); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Hits; got != 1 {
+		t.Fatalf("same-pipeline probe missed (hits=%d)", got)
+	}
+	if packed2.CacheHits() != 1 {
+		t.Fatalf("builder counted %d cache hits, want 1", packed2.CacheHits())
+	}
+}
+
+// TestPackedBuilderRebuildAllocationFree mirrors the reference-path
+// allocation test on the (default) packed path: warm rebuilds allocate
+// nothing.
+func TestPackedBuilderRebuildAllocationFree(t *testing.T) {
+	b, err := NewTableBuilder(0.95, 128, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Packed {
+		t.Fatal("expected packed default")
+	}
+	r := rand.New(rand.NewSource(8))
+	histC, histM := stats.NewHistogram(4096), stats.NewHistogram(4096)
+	comp, mem := randomSamples(r, 4096)
+	for i := range comp {
+		histC.Push(comp[i])
+		histM.Push(mem[i])
+	}
+	if _, _, err := b.Rebuild(histC, histM); err != nil { // warm buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := b.Rebuild(histC, histM); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state packed Rebuild allocates %v/op, want 0", allocs)
+	}
+}

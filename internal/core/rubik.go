@@ -74,6 +74,17 @@ type Config struct {
 	// cost at steady load at the price of reacting one threshold-crossing
 	// later to workload drift.
 	DriftThreshold float64
+	// PackedFFT selects the packed real-FFT rebuild pipeline: both
+	// convolution chains of the periodic table refresh share one complex
+	// transform (the PMFs are purely real), with Hermitian half-spectra
+	// and size-pruned inverse transforms — 2-4x cheaper rebuilds than
+	// the reference complex pipeline. DefaultConfig enables it; clear it
+	// to run the bitwise-validated reference path for A/B or bisection
+	// (rubiksim mirrors this as -packedfft). The packed pipeline rounds
+	// differently at the ulp level but is equally deterministic, and the
+	// quantile-bucketed tables it builds are pinned equal to the
+	// reference pipeline's across the experiment suite.
+	PackedFFT bool
 	// Feedback configures the PI fine-tuning loop.
 	Feedback FeedbackConfig
 
@@ -108,6 +119,7 @@ func DefaultConfig(latencyBoundNs float64) Config {
 		TransitionLatency: 4 * sim.Microsecond,
 		MinSamples:        48,
 		HistoryCap:        8192,
+		PackedFFT:         true,
 		Feedback:          DefaultFeedback(),
 	}
 }
@@ -271,6 +283,7 @@ func (r *Rubik) rebuild() error {
 		}
 		b.DriftThreshold = r.cfg.DriftThreshold
 		b.Cache = r.cache
+		b.Packed = r.cfg.PackedFFT
 		r.builder = b
 	}
 	t, rebuilt, err := r.builder.Rebuild(r.histC, r.histM)

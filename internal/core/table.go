@@ -94,21 +94,34 @@ func (t *TailTable) Rebuild(b *TableBuilder, meanC, varC, meanM, varM float64) e
 	distC, distM := b.distC, b.distM
 	maxQueue, rows, percentile := b.maxQueue, b.rows, b.percentile
 
-	// Exact sum tails for a fresh head: exactC[i] = Q(C^(*(i+1))),
-	// computed once with plan-cached FFT convolutions.
-	planC, err := b.planFor(stats.PlanSizeFor(len(distC.P), len(distC.P), maxQueue))
-	if err != nil {
-		return err
-	}
-	if err := planC.IterConvolutionsInto(b.convC, distC, distC); err != nil {
-		return fmt.Errorf("core: compute convolutions: %w", err)
-	}
-	planM, err := b.planFor(stats.PlanSizeFor(len(distM.P), len(distM.P), maxQueue))
-	if err != nil {
-		return err
-	}
-	if err := planM.IterConvolutionsInto(b.convM, distM, distM); err != nil {
-		return fmt.Errorf("core: memory convolutions: %w", err)
+	// Exact sum tails for a fresh head: exactC[i] = Q(C^(*(i+1))). The
+	// packed pipeline computes both chains in one real-FFT pass (one
+	// forward transform, fused per-row inverses, half-spectrum power
+	// steps); the reference pipeline runs the two chains independently
+	// and stays bitwise-equal to the naive convolutions.
+	if b.Packed {
+		plan, err := b.packedPlanFor(stats.PackedPlanSizeFor(len(distC.P), len(distM.P), maxQueue))
+		if err != nil {
+			return err
+		}
+		if err := plan.IterSelfConvolutionsInto(b.convC, b.convM, distC, distM); err != nil {
+			return fmt.Errorf("core: packed convolutions: %w", err)
+		}
+	} else {
+		planC, err := b.planFor(stats.PlanSizeFor(len(distC.P), len(distC.P), maxQueue))
+		if err != nil {
+			return err
+		}
+		if err := planC.IterConvolutionsInto(b.convC, distC, distC); err != nil {
+			return fmt.Errorf("core: compute convolutions: %w", err)
+		}
+		planM, err := b.planFor(stats.PlanSizeFor(len(distM.P), len(distM.P), maxQueue))
+		if err != nil {
+			return err
+		}
+		if err := planM.IterConvolutionsInto(b.convM, distM, distM); err != nil {
+			return fmt.Errorf("core: memory convolutions: %w", err)
+		}
 	}
 	for i := 0; i < maxQueue; i++ {
 		b.exactC[i] = b.convC[i].Quantile(percentile)
@@ -120,12 +133,18 @@ func (t *TailTable) Rebuild(b *TableBuilder, meanC, varC, meanM, varM float64) e
 	t.meanC, t.varC = meanC, varC
 	t.meanM, t.varM = meanM, varM
 
+	// One cumulative pass per profiled distribution answers every row
+	// bound below; QuantileFromCum is bitwise-identical to the per-row
+	// Quantile scans it replaces.
+	b.cumC = distC.CumSumInto(b.cumC)
+	b.cumM = distM.CumSumInto(b.cumM)
+
 	for r := 0; r < rows; r++ {
 		q := float64(r) / float64(rows)
 		var boundC, boundM float64
 		if r > 0 {
-			boundC = distC.Quantile(q)
-			boundM = distM.Quantile(q)
+			boundC = distC.QuantileFromCum(b.cumC, q)
+			boundM = distM.QuantileFromCum(b.cumM, q)
 		}
 		t.rowBoundsC[r] = boundC
 		t.rowBoundsM[r] = boundM

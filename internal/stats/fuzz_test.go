@@ -23,6 +23,107 @@ func fuzzValues(data []byte) []float64 {
 	return vals
 }
 
+// fuzzPMF decodes a byte string into a unit-mass PMF with up to 130
+// buckets: 8 bytes per weight, non-finite values skipped, magnitudes
+// folded to [0, 1e12] so the total stays finite, and an all-zero decode
+// collapsed to a single-bucket delta (the degenerate profile shape).
+func fuzzPMF(data []byte, origin, width float64) PMF {
+	var p []float64
+	for len(data) >= 8 && len(p) < 130 {
+		v := math.Abs(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v > 1e12 {
+			v = math.Mod(v, 1e12)
+		}
+		p = append(p, v)
+	}
+	var tot float64
+	for _, v := range p {
+		tot += v
+	}
+	if len(p) == 0 || tot == 0 {
+		p = []float64{1}
+		tot = 1
+	}
+	for i := range p {
+		p[i] /= tot
+	}
+	return PMF{Origin: origin, Width: width, P: p}
+}
+
+// FuzzPackedConvolution fuzzes the packed real-FFT pipeline against the
+// reference convolutions: for arbitrary unit-mass PMF pairs (mismatched
+// lengths, degenerate single buckets, extreme weight ratios) both chains
+// of one packed pass must reproduce IterConvolutions within the packed
+// error bound, with bitwise-identical row geometry.
+func FuzzPackedConvolution(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		b := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	// Degenerate single-bucket chain against a spread chain.
+	f.Add(seed(1), seed(0.25, 0.5, 0.25), byte(7))
+	// Mismatched lengths with uneven mass.
+	f.Add(seed(0.1, 0.9), seed(0.2, 0.3, 0.1, 0.4, 0.05, 0.6, 0.7), byte(15))
+	// Both degenerate.
+	f.Add(seed(3), seed(42), byte(1))
+	// Extreme dynamic range within one PMF.
+	f.Add(seed(1e-12, 1, 1e12, 1e-300), seed(5, 5, 5, 5, 5), byte(19))
+
+	f.Fuzz(func(t *testing.T, a, b []byte, countByte byte) {
+		c := fuzzPMF(a, 2, 0.5)
+		m := fuzzPMF(b, 1, 0.75)
+		count := 1 + int(countByte)%20
+		wantC, err := IterConvolutions(c, c, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantM, err := IterConvolutions(m, m, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := NewPackedConvolutionPlan(PackedPlanSizeFor(len(c.P), len(m.P), count))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC := make([]PMF, count)
+		gotM := make([]PMF, count)
+		if err := plan.IterSelfConvolutionsInto(gotC, gotM, c, m); err != nil {
+			t.Fatal(err)
+		}
+		for chain, pair := range map[string][2][]PMF{"C": {gotC, wantC}, "M": {gotM, wantM}} {
+			got, want := pair[0], pair[1]
+			for i := range want {
+				if got[i].Origin != want[i].Origin || got[i].Width != want[i].Width ||
+					len(got[i].P) != len(want[i].P) {
+					t.Fatalf("%s row %d geometry mismatch: %+v vs %+v", chain, i, got[i], want[i])
+				}
+				scale := 0.0
+				for _, v := range want[i].P {
+					if v > scale {
+						scale = v
+					}
+				}
+				if scale == 0 {
+					scale = 1
+				}
+				for k := range want[i].P {
+					if diff := math.Abs(got[i].P[k] - want[i].P[k]); diff > 1e-9*scale {
+						t.Fatalf("%s row %d entry %d: packed %v reference %v (rel err %v)",
+							chain, i, k, got[i].P[k], want[i].P[k], diff/scale)
+					}
+				}
+			}
+		}
+	})
+}
+
 // FuzzLogHistogramMerge fuzzes the streaming response-latency histogram
 // with two arbitrary observation streams and checks the merge contract:
 // counts are conserved exactly (total, underflow and overflow mass —

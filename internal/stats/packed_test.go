@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// packedErrBound is the packed pipeline's accuracy contract against the
+// reference convolutions: every row entry agrees within this relative
+// error, normalized by the row's largest reference entry. Observed error
+// on unit-mass PMFs is ~1e-13; the contract leaves four orders of margin.
+const packedErrBound = 1e-9
+
+// checkPackedRows compares one packed chain against its reference chain:
+// geometry (origin, width, length) must match bitwise, values within
+// packedErrBound of the row's largest reference entry.
+func checkPackedRows(t *testing.T, chain string, got, want []PMF) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", chain, len(got), len(want))
+	}
+	for i := range want {
+		if !sameBits(got[i].Origin, want[i].Origin) || !sameBits(got[i].Width, want[i].Width) {
+			t.Fatalf("%s row %d geometry: got (%v,%v) want (%v,%v)",
+				chain, i, got[i].Origin, got[i].Width, want[i].Origin, want[i].Width)
+		}
+		if len(got[i].P) != len(want[i].P) {
+			t.Fatalf("%s row %d length %d, want %d", chain, i, len(got[i].P), len(want[i].P))
+		}
+		scale := 0.0
+		for _, v := range want[i].P {
+			if v > scale {
+				scale = v
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		for k := range want[i].P {
+			if diff := math.Abs(got[i].P[k] - want[i].P[k]); diff > packedErrBound*scale {
+				t.Fatalf("%s row %d entry %d: got %v want %v (rel err %v)",
+					chain, i, k, got[i].P[k], want[i].P[k], diff/scale)
+			}
+		}
+	}
+}
+
+func TestNewPackedConvolutionPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 12, 1000} {
+		if _, err := NewPackedConvolutionPlan(n); err == nil {
+			t.Fatalf("packed plan size %d must be rejected", n)
+		}
+	}
+}
+
+// TestPackedSelfConvolutionsMatchReferenceWithinBound is the packed
+// pipeline's core accuracy property: both chains of a packed pass agree
+// with the independent reference chains within packedErrBound, across
+// mismatched bucket counts, distinct widths and origins, and repeated
+// reuse of the same plan and destination buffers.
+func TestPackedSelfConvolutionsMatchReferenceWithinBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomPMF(r, 1+r.Intn(130), float64(r.Intn(10)), 0.25+r.Float64())
+		m := randomPMF(r, 1+r.Intn(130), float64(r.Intn(10)), 0.25+r.Float64())
+		count := 1 + r.Intn(20)
+		wantC, err := IterConvolutions(c, c, count)
+		if err != nil {
+			return false
+		}
+		wantM, err := IterConvolutions(m, m, count)
+		if err != nil {
+			return false
+		}
+		plan, err := NewPackedConvolutionPlan(PackedPlanSizeFor(len(c.P), len(m.P), count))
+		if err != nil {
+			return false
+		}
+		gotC := make([]PMF, count)
+		gotM := make([]PMF, count)
+		// Two rounds: the second reuses the first round's destination
+		// buffers and the plan's scratch, proving reuse changes nothing.
+		for round := 0; round < 2; round++ {
+			if err := plan.IterSelfConvolutionsInto(gotC, gotM, c, m); err != nil {
+				t.Fatal(err)
+			}
+			checkPackedRows(t, "C", gotC, wantC)
+			checkPackedRows(t, "M", gotM, wantM)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackedSelfConvolutionsDeterministic pins the pipeline's determinism
+// contract: the same inputs produce the same bits on every call and on a
+// freshly built plan — the property the shard/cache/work-stealing
+// invariance of the fleet engine leans on once packed is the default.
+func TestPackedSelfConvolutionsDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	c := randomPMF(r, 128, 3, 250)
+	m := randomPMF(r, 96, 1, 40)
+	const count = 16
+	plan, err := NewPackedConvolutionPlan(PackedPlanSizeFor(len(c.P), len(m.P), count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstC := make([]PMF, count)
+	firstM := make([]PMF, count)
+	if err := plan.IterSelfConvolutionsInto(firstC, firstM, c, m); err != nil {
+		t.Fatal(err)
+	}
+	// Deep-copy: later calls refill the same destination backing arrays.
+	snap := func(rows []PMF) []PMF {
+		out := make([]PMF, len(rows))
+		for i, row := range rows {
+			out[i] = PMF{Origin: row.Origin, Width: row.Width, P: append([]float64(nil), row.P...)}
+		}
+		return out
+	}
+	wantC, wantM := snap(firstC), snap(firstM)
+
+	fresh, err := NewPackedConvolutionPlan(plan.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial, p := range []*PackedConvolutionPlan{plan, fresh} {
+		gotC := make([]PMF, count)
+		gotM := make([]PMF, count)
+		if err := p.IterSelfConvolutionsInto(gotC, gotM, c, m); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantC {
+			for k := range wantC[i].P {
+				if !sameBits(gotC[i].P[k], wantC[i].P[k]) {
+					t.Fatalf("trial %d: C row %d entry %d not deterministic", trial, i, k)
+				}
+			}
+			for k := range wantM[i].P {
+				if !sameBits(gotM[i].P[k], wantM[i].P[k]) {
+					t.Fatalf("trial %d: M row %d entry %d not deterministic", trial, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedSelfConvolutionsDegenerateSingleBucket(t *testing.T) {
+	// A degenerate chain (single-bucket delta PMF) paired with a full-width
+	// chain rides the wide chain's grid; both must still match their
+	// references. Also the doubly-degenerate pair, which runs at size 1.
+	delta := PMF{Origin: 5, Width: 1, P: []float64{1}}
+	r := rand.New(rand.NewSource(33))
+	wide := randomPMF(r, 128, 0, 1000)
+	const count = 8
+	for _, pair := range []struct {
+		name string
+		c, m PMF
+	}{
+		{"delta-wide", delta, wide},
+		{"wide-delta", wide, delta},
+		{"delta-delta", delta, delta},
+	} {
+		wantC, err := IterConvolutions(pair.c, pair.c, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantM, err := IterConvolutions(pair.m, pair.m, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := NewPackedConvolutionPlan(PackedPlanSizeFor(len(pair.c.P), len(pair.m.P), count))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC := make([]PMF, count)
+		gotM := make([]PMF, count)
+		if err := plan.IterSelfConvolutionsInto(gotC, gotM, pair.c, pair.m); err != nil {
+			t.Fatalf("%s: %v", pair.name, err)
+		}
+		checkPackedRows(t, pair.name+"/C", gotC, wantC)
+		checkPackedRows(t, pair.name+"/M", gotM, wantM)
+	}
+}
+
+func TestPackedSelfConvolutionsValidation(t *testing.T) {
+	ok := PMF{Origin: 0, Width: 1, P: []float64{1}}
+	plan, err := NewPackedConvolutionPlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.IterSelfConvolutionsInto(nil, nil, ok, ok); err == nil {
+		t.Fatal("expected error for empty dst")
+	}
+	if err := plan.IterSelfConvolutionsInto(make([]PMF, 2), make([]PMF, 3), ok, ok); err == nil {
+		t.Fatal("expected error for mismatched dst lengths")
+	}
+	if err := plan.IterSelfConvolutionsInto(make([]PMF, 2), make([]PMF, 2), PMF{}, ok); err == nil {
+		t.Fatal("expected error for empty c")
+	}
+	if err := plan.IterSelfConvolutionsInto(make([]PMF, 2), make([]PMF, 2), ok, PMF{}); err == nil {
+		t.Fatal("expected error for empty m")
+	}
+	// Mismatched plan size must be rejected, not silently mis-transformed.
+	big := randomPMF(rand.New(rand.NewSource(1)), 64, 0, 1)
+	if err := plan.IterSelfConvolutionsInto(make([]PMF, 8), make([]PMF, 8), big, big); err == nil {
+		t.Fatal("expected plan size mismatch error")
+	}
+}
+
+func TestPackedSelfConvolutionsAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	c := randomPMF(r, 128, 0, 1000)
+	m := randomPMF(r, 128, 0, 50)
+	plan, err := NewPackedConvolutionPlan(PackedPlanSizeFor(128, 128, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstC := make([]PMF, 16)
+	dstM := make([]PMF, 16)
+	if err := plan.IterSelfConvolutionsInto(dstC, dstM, c, m); err != nil { // warm buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := plan.IterSelfConvolutionsInto(dstC, dstM, c, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm IterSelfConvolutionsInto allocates %v/op, want 0", allocs)
+	}
+}

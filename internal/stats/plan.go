@@ -109,7 +109,7 @@ func (p *ConvolutionPlan) transform(x []complex128, tw []complex128) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	p.stages(x, tw)
+	fftStages(x, tw)
 }
 
 // transformFrom gathers src through the bit-reversal permutation into dst
@@ -121,11 +121,17 @@ func (p *ConvolutionPlan) transformFrom(dst, src []complex128, tw []complex128) 
 	for i, j := range p.rev {
 		dst[i] = src[j]
 	}
-	p.stages(dst, tw)
+	fftStages(dst, tw)
 }
 
-func (p *ConvolutionPlan) stages(x []complex128, tw []complex128) {
-	n := p.n
+// fftStages runs the radix-2 butterfly cascade over an already
+// bit-reversed x, for any power-of-two len(x). The twiddle layout is the
+// plan layout (stage with half-size h at tw[h-1:2h-1]); because a stage's
+// twiddles exp(±i*pi*k/h) do not depend on the transform size, one table
+// built for size n serves every smaller power of two too — the packed
+// pipeline's decimated inverse transforms lean on that.
+func fftStages(x []complex128, tw []complex128) {
+	n := len(x)
 	// Every specialization below performs the identical floating-point
 	// operations in the identical order as the plain nested loop (including
 	// the multiplications by the unit twiddle, whose skipping could flip

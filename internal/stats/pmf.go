@@ -121,6 +121,58 @@ func (d PMF) Quantile(q float64) float64 {
 	return d.Origin + float64(len(d.P))*d.Width
 }
 
+// CumSumInto fills dst with the running mass cum[k] = P[0] + ... + P[k],
+// accumulated in index order — the exact running sum Quantile forms
+// internally — reusing dst's backing array when its capacity allows. One
+// CumSumInto per rebuild lets QuantileFromCum answer every row-bound
+// quantile without rescanning the PMF.
+func (d PMF) CumSumInto(dst []float64) []float64 {
+	if cap(dst) < len(d.P) {
+		dst = make([]float64, len(d.P))
+	} else {
+		dst = dst[:len(d.P)]
+	}
+	var cum float64
+	for k, p := range d.P {
+		cum += p
+		dst[k] = cum
+	}
+	return dst
+}
+
+// QuantileFromCum is Quantile answered from a precomputed CumSumInto
+// running mass instead of a fresh linear scan. For PMFs with
+// nonnegative entries (every profiled or convolved PMF) the running
+// mass is nondecreasing, so a binary search finds the same first
+// crossing the scan does and the result is bitwise-identical to
+// Quantile's — the property tests pin that.
+func (d PMF) QuantileFromCum(cum []float64, q float64) float64 {
+	if len(d.P) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.Origin
+	}
+	if q > 1 {
+		q = 1
+	}
+	// cum[len-1] is the same running total Mass() computes, bit for bit.
+	target := q*cum[len(cum)-1] - 1e-12
+	lo, hi := 0, len(cum) // first k with cum[k] >= target
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(cum) {
+		return d.Origin + float64(lo+1)*d.Width
+	}
+	return d.Origin + float64(len(d.P))*d.Width
+}
+
 // CDF returns P[X <= x].
 func (d PMF) CDF(x float64) float64 {
 	if len(d.P) == 0 {

@@ -283,3 +283,63 @@ func TestPercentileNearestRank(t *testing.T) {
 		t.Errorf("empty percentile = %v, want 0", got)
 	}
 }
+
+// TestQuantileFromCumMatchesQuantileBitwise pins the CDF-once rebuild
+// optimization: for nonnegative PMFs (the profiler only produces those),
+// one CumSumInto pass plus QuantileFromCum must reproduce the per-call
+// Quantile scan bit for bit at every q, including the q<=0 / q>1 clamps
+// and the octile row-bound grid the table rebuild actually queries.
+func TestQuantileFromCumMatchesQuantileBitwise(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		p := make([]float64, n)
+		for i := range p {
+			// Occasional zero runs exercise ties in the running mass.
+			if r.Intn(4) == 0 {
+				p[i] = 0
+			} else {
+				p[i] = r.Float64() * math.Pow(10, float64(r.Intn(6)-3))
+			}
+		}
+		d := PMF{Origin: float64(r.Intn(10)), Width: 0.25 + r.Float64(), P: p}
+		cum := d.CumSumInto(nil)
+		qs := []float64{-0.5, 0, 1e-9, 0.25, 0.5, 0.9, 0.95, 0.999, 1, 1.5}
+		for rows := 1; rows <= 8; rows++ {
+			for k := 0; k < rows; k++ {
+				qs = append(qs, float64(k)/float64(rows))
+			}
+		}
+		for i := 0; i < 32; i++ {
+			qs = append(qs, r.Float64())
+		}
+		for _, q := range qs {
+			want := d.Quantile(q)
+			got := d.QuantileFromCum(cum, q)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("q=%v: QuantileFromCum %v, Quantile %v (n=%d)", q, got, want, n)
+			}
+		}
+		// Reuse: a second pass into the same buffer changes nothing.
+		cum2 := d.CumSumInto(cum)
+		for i := range cum {
+			if math.Float64bits(cum2[i]) != math.Float64bits(cum[i]) {
+				t.Fatalf("CumSumInto reuse changed entry %d", i)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileFromCumEmpty(t *testing.T) {
+	var d PMF
+	if got := d.QuantileFromCum(nil, 0.5); got != 0 {
+		t.Fatalf("empty PMF quantile %v, want 0", got)
+	}
+	if cum := d.CumSumInto(nil); len(cum) != 0 {
+		t.Fatalf("empty PMF cum length %d", len(cum))
+	}
+}

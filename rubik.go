@@ -76,7 +76,12 @@ type (
 	// ControllerConfig tunes a Controller. Notable knobs beyond the paper
 	// parameters: DriftThreshold enables the drift-gated table refresh
 	// (skip the convolutions while the profiled distributions are still;
-	// 0 = always rebuild, byte-identical results).
+	// 0 = always rebuild, byte-identical results), and PackedFFT selects
+	// the packed real-FFT rebuild pipeline (on by default: both
+	// convolution chains ride one transform with Hermitian half-spectra
+	// and pruned inverses, a 2-3x cheaper rebuild; clear it for the
+	// reference complex pipeline — decision trajectories are identical,
+	// as the cluster equivalence sweep pins).
 	ControllerConfig = rubikcore.Config
 	// TableBuilder is the persistent, allocation-free rebuild pipeline
 	// behind a controller's target tail tables (FFT plans, streaming
