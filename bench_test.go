@@ -391,10 +391,22 @@ func BenchmarkClusterScaleParallel(b *testing.B)   { benchWorkers(b, runtime.GOM
 
 // BenchmarkEngine pins the per-event cost of the simulation substrate: 16
 // pre-registered handles rescheduling themselves through a populated event
-// heap. Steady state performs zero allocations per event.
+// queue — the engine's sorted small-mode regime. Steady state performs
+// zero allocations per event.
 func BenchmarkEngine(b *testing.B) {
+	benchEngine(b, 16, 97, 13)
+}
+
+// BenchmarkEngineDense is the same cycle with 64 live timers over a wide
+// horizon — past the small-mode capacity, so every event exercises the
+// hierarchical timing wheel itself (occupancy-bitmap scans, bucket
+// drains), where the 4-ary heap it replaced paid O(log n) sifts.
+func BenchmarkEngineDense(b *testing.B) {
+	benchEngine(b, 64, 1500, 97)
+}
+
+func benchEngine(b *testing.B, handles int, base, step sim.Time) {
 	eng := sim.NewEngine()
-	const handles = 16
 	fired := 0
 	hs := make([]sim.Handle, handles)
 	for i := 0; i < handles; i++ {
@@ -402,8 +414,8 @@ func BenchmarkEngine(b *testing.B) {
 		hs[i] = eng.Register(func() {
 			fired++
 			if fired <= b.N-handles {
-				// Distinct periods keep the heap busy and unordered.
-				eng.RescheduleAfter(hs[i], sim.Time(97+13*i))
+				// Distinct periods keep the queue busy and unordered.
+				eng.RescheduleAfter(hs[i], base+step*sim.Time(i))
 			}
 		})
 	}

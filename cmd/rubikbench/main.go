@@ -7,9 +7,14 @@
 //
 // Usage:
 //
-//	rubikbench [-out dir] [-bench regexp] [-list]
+//	rubikbench [-out dir] [-bench regexp] [-count n] [-list]
 //	rubikbench -baseline dir   compare a fresh run against saved BENCH_*.json
 //	rubikbench -baseline dir -gate 15   additionally exit 3 on a >15% ns/op regression
+//
+// -count n runs every selected benchmark n times and keeps the fastest
+// run (minimum ns/op): the minimum estimates the noise floor of a shared
+// runner far better than any single run, so CI feeds it to -gate to cut
+// scheduling-jitter flakes.
 //
 // The repo commits a reference run under bench/baseline (see its
 // README), so `rubikbench -baseline bench/baseline` diffs the working
@@ -415,6 +420,34 @@ var benches = []struct {
 			b.Fatalf("fired %d of %d events", fired, b.N)
 		}
 	}},
+	{"EngineDense", func(b *testing.B) {
+		// More live timers than the engine's small-mode capacity, spread
+		// over a wide horizon: steady-state wheel scheduling (bitmap scans,
+		// bucket drains), where the heap it replaced paid O(log n) sifts.
+		eng := sim.NewEngine()
+		const handles = 64
+		fired := 0
+		hs := make([]sim.Handle, handles)
+		for i := 0; i < handles; i++ {
+			i := i
+			hs[i] = eng.Register(func() {
+				fired++
+				if fired <= b.N-handles {
+					eng.RescheduleAfter(hs[i], sim.Time(1500+97*i))
+				}
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		fired = 0
+		for i := range hs {
+			eng.Reschedule(hs[i], sim.Time(1+i))
+		}
+		eng.Run()
+		if fired < b.N {
+			b.Fatalf("fired %d of %d events", fired, b.N)
+		}
+	}},
 	{"CoreEvent", func(b *testing.B) {
 		eng := sim.NewEngine()
 		cfg := queueing.DefaultConfig()
@@ -490,7 +523,12 @@ func main() {
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	baseline := flag.String("baseline", "", "BENCH_*.json dir (or one file) to diff the fresh run against")
 	gate := flag.Float64("gate", 0, "with -baseline: exit 3 when any benchmark regresses more than this percent in ns/op")
+	count := flag.Int("count", 1, "runs per benchmark; the minimum-ns/op run is recorded")
 	flag.Parse()
+	if *count < 1 {
+		fmt.Fprintf(os.Stderr, "rubikbench: -count must be >= 1, got %d\n", *count)
+		os.Exit(1)
+	}
 
 	re, err := regexp.Compile(*pattern)
 	if err != nil {
@@ -521,19 +559,25 @@ func main() {
 			continue
 		}
 		ran++
-		r := testing.Benchmark(bm.fn)
-		// testing.Benchmark discards b.Fatal output and returns a zero
-		// result; surface that as a failure instead of emitting NaNs.
-		if r.N == 0 {
-			fmt.Fprintf(os.Stderr, "rubikbench: benchmark %s failed (zero iterations)\n", bm.name)
-			os.Exit(1)
-		}
-		res := result{
-			Name:        bm.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+		var res result
+		for c := 0; c < *count; c++ {
+			r := testing.Benchmark(bm.fn)
+			// testing.Benchmark discards b.Fatal output and returns a zero
+			// result; surface that as a failure instead of emitting NaNs.
+			if r.N == 0 {
+				fmt.Fprintf(os.Stderr, "rubikbench: benchmark %s failed (zero iterations)\n", bm.name)
+				os.Exit(1)
+			}
+			cur := result{
+				Name:        bm.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			if c == 0 || cur.NsPerOp < res.NsPerOp {
+				res = cur
+			}
 		}
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -335,27 +338,34 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			var cache *rubikcore.TableCache
-			if n := cfg.tableCacheEntries(); n > 0 {
-				cache = rubikcore.NewTableCache(n)
-			}
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= cfg.Sockets {
-					break
+			// Label the goroutine so CPU profiles (rubiksim -cpuprofile)
+			// attribute samples per shard and per claimed socket; the socket
+			// label is rewritten as the shard steals new work.
+			pprof.Do(context.Background(), pprof.Labels("fleet_shard", strconv.Itoa(k)), func(ctx context.Context) {
+				var cache *rubikcore.TableCache
+				if n := cfg.tableCacheEntries(); n > 0 {
+					cache = rubikcore.NewTableCache(n)
 				}
-				src := cfg.NewSource(s)
-				if src == nil {
-					errs[s] = fmt.Errorf("cluster: fleet socket %d: NewSource returned nil", s)
-					continue
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= cfg.Sockets {
+						break
+					}
+					src := cfg.NewSource(s)
+					if src == nil {
+						errs[s] = fmt.Errorf("cluster: fleet socket %d: NewSource returned nil", s)
+						continue
+					}
+					c := cfg.socketConfig(s)
+					c.TableCache = cache
+					pprof.Do(ctx, pprof.Labels("socket", strconv.Itoa(s)), func(context.Context) {
+						results[s], errs[s] = RunSource(src, c)
+					})
 				}
-				c := cfg.socketConfig(s)
-				c.TableCache = cache
-				results[s], errs[s] = RunSource(src, c)
-			}
-			if cache != nil {
-				cacheStats[k] = cache.Stats()
-			}
+				if cache != nil {
+					cacheStats[k] = cache.Stats()
+				}
+			})
 		}(k)
 	}
 	wg.Wait()

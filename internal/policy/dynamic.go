@@ -25,7 +25,7 @@ type reduceCand struct {
 }
 
 // candHeap is a by-value max-heap of reduction candidates ordered by
-// energy saving — the sim.Engine heap idiom: no container/heap
+// energy saving — the repo's by-value heap idiom: no container/heap
 // indirection, no `any` boxing on push/pop. The maximum sits at index 0
 // for the peek in the lazy-revalidation loop.
 type candHeap []reduceCand

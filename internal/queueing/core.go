@@ -378,8 +378,8 @@ func (c *Core) recordFreq() {
 
 // rescheduleCompletion re-projects the head's completion time at the
 // current frequency, moving the pre-registered completion event (or
-// parking it while the queue is empty). The engine edits the heap entry in
-// place: no closure, no allocation, no stale tombstone.
+// parking it while the queue is empty). The engine relocates the event
+// under the same handle: no closure, no allocation, no stale tombstone.
 func (c *Core) rescheduleCompletion() {
 	if c.count == 0 {
 		c.eng.Cancel(c.completionH)
@@ -521,7 +521,7 @@ func (c *Core) Finalize() Result {
 // Feeder streams a workload.Source into a core through one pre-registered
 // arrival event: it holds a one-request lookahead, and each firing
 // delivers the lookahead, pulls the next request and moves the same
-// handle to its arrival — so the event heap holds at most one pending
+// handle to its arrival — so the engine holds at most one pending
 // arrival per feeder and steady-state feeding allocates nothing,
 // regardless of whether the source is a materialized trace or an
 // unbounded generator.
