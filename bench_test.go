@@ -322,6 +322,50 @@ func BenchmarkFleetSimulate2(b *testing.B)    { benchFleet(b, 2, 0) }
 func BenchmarkFleetSimulate4(b *testing.B)    { benchFleet(b, 4, 0) }
 func BenchmarkFleetSimulateAuto(b *testing.B) { benchFleet(b, 0, 0) }
 
+// benchFleetCapped measures the hierarchical budget path: the flat
+// 4-socket fleet shape under a tight waterfilled rack budget with a 5 ms
+// epoch cadence, so every epoch runs demand reporting, a tree
+// re-allocation and (under skewed demand) cap retargets on top of the
+// socket simulations. The delta vs FleetSimulate4 is the cost of
+// hierarchical capping itself.
+func benchFleetCapped(b *testing.B, shards int) {
+	b.Helper()
+	const sockets, cores, nPer = 4, 6, 12000
+	app := workload.Masstree()
+	sc, err := workload.ScenarioByName("bursty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := rubik.NewFleet(sockets, cores,
+			func(s int) rubik.Source {
+				load := 0.3 + 0.4*float64(s)/float64(sockets-1)
+				return sc.New(app, load*cores, nPer, rubik.ShardSeed(3, s))
+			},
+			func(int, int) (rubik.Policy, error) { return rubik.NewController(500_000) })
+		cfg.Shards = shards
+		cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
+		cfg.Hierarchy = &rubik.HierarchySpec{Levels: []rubik.LevelSpec{
+			{Name: "rack", Nodes: 1, CapW: 64},
+			{Name: "pdu", Nodes: 2, Oversub: 1.25},
+		}}
+		cfg.Epoch = 5_000_000
+		res, err := rubik.SimulateFleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Served() != sockets*nPer {
+			b.Fatalf("served %d of %d", res.Served(), sockets*nPer)
+		}
+		if res.Hierarchy == nil || res.Hierarchy.Reallocations == 0 {
+			b.Fatal("hierarchical run never re-allocated")
+		}
+	}
+}
+
+func BenchmarkFleetCapped(b *testing.B) { benchFleetCapped(b, 4) }
+
 // benchFleetTrough is the rebuild cache's before/after shape: a fleet in
 // a diurnal-style trough (10% load) under a fine 2 ms control cadence.
 // This is the regime where the controller hot path dominates — at 2 ms

@@ -125,6 +125,48 @@ func fleetBench(shards, tablecache int) func(b *testing.B) {
 	}
 }
 
+// cappedFleetBench mirrors bench_test.go's benchFleetCapped: the
+// FleetSimulate4 fleet shape with skewed per-socket load under a tight
+// waterfilled rack->PDU->socket budget re-allocated every 5 ms, so the
+// FleetCapped-vs-FleetSimulate4 delta is the cost of hierarchical
+// capping (demand integrals, epoch barriers, tree rounds, retargets).
+func cappedFleetBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		const sockets, cores, nPer = 4, 6, 12000
+		app := workload.Masstree()
+		sc, err := workload.ScenarioByName("bursty")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := rubik.NewFleet(sockets, cores,
+				func(s int) rubik.Source {
+					load := 0.3 + 0.4*float64(s)/float64(sockets-1)
+					return sc.New(app, load*cores, nPer, rubik.ShardSeed(3, s))
+				},
+				func(int, int) (rubik.Policy, error) { return rubik.NewController(500_000) })
+			cfg.Shards = 4
+			cfg.NewDispatcher = func(int) rubik.Dispatcher { return rubik.JSQDispatcher() }
+			cfg.Hierarchy = &rubik.HierarchySpec{Levels: []rubik.LevelSpec{
+				{Name: "rack", Nodes: 1, CapW: 64},
+				{Name: "pdu", Nodes: 2, Oversub: 1.25},
+			}}
+			cfg.Epoch = 5 * sim.Millisecond
+			res, err := rubik.SimulateFleet(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Served() != sockets*nPer {
+				b.Fatalf("served %d of %d", res.Served(), sockets*nPer)
+			}
+			if res.Hierarchy == nil || res.Hierarchy.Reallocations == 0 {
+				b.Fatal("hierarchical run never re-allocated")
+			}
+		}
+	}
+}
+
 // troughFleetBench mirrors bench_test.go's benchFleetTrough: a 2-socket
 // fleet in a diurnal-style trough (10% load) under a fine 2 ms control
 // cadence — the regime where table rebuilds dominate wall-clock and
@@ -395,6 +437,7 @@ var benches = []struct {
 	{"FleetSimulate4", fleetBench(4, 0)},
 	{"FleetSimulateCached", troughFleetBench(0)},
 	{"FleetSimulateUncached", troughFleetBench(-1)},
+	{"FleetCapped", cappedFleetBench()},
 	{"Engine", func(b *testing.B) {
 		eng := sim.NewEngine()
 		const handles = 16

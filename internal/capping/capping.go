@@ -43,11 +43,11 @@ type Allocator interface {
 	Name() string
 	// Allocate writes a granted grid index per core into grants
 	// (len(grants) == len(demands)), honoring grants[i] <= DesiredIdx and
-	// Σ power(grants) ≤ CapW whenever the budget admits every core at the
-	// minimum step. When even all-minimum exceeds the cap the round is
-	// infeasible: everything is granted the minimum and the caller
-	// accounts the excess. Allocate must not allocate memory; per-round
-	// scratch lives in the Domain.
+	// Σ power(grants) ≤ CapW whenever the budget admits every core at its
+	// cheapest admissible step. When even that floor exceeds the cap the
+	// round is infeasible: every core is granted FloorIdx(DesiredIdx) and
+	// the caller accounts the excess. Allocate must not allocate memory;
+	// per-round scratch lives in the Domain.
 	Allocate(d *Domain, demands []Demand, grants []int)
 }
 
@@ -59,6 +59,16 @@ type Domain struct {
 	capW  float64
 	grid  cpu.Grid
 	power []float64 // power[i] = active power (W) at grid step i
+
+	// True extremes of the power curve. maxIdxWithin documents that the
+	// curve need not be convex or monotone, so the cheapest step is not
+	// necessarily index 0: feasibility checks and infeasible-round floors
+	// must use the real minimum, not power[0].
+	minPowerW float64
+	maxPowerW float64
+	// floorIdx[i] is the cheapest step at or below i (argmin power[0..i],
+	// lowest index on ties) — the best a core desiring step i can do.
+	floorIdx []int
 
 	// Allocator scratch, sized to the member count: remaining-slack
 	// estimates and per-step slack debits for greedy-slack.
@@ -81,21 +91,68 @@ func NewDomain(grid cpu.Grid, model cpu.PowerModel, capW float64, cores int) (*D
 	if cores <= 0 {
 		return nil, fmt.Errorf("capping: domain needs at least 1 core, got %d", cores)
 	}
+	power := make([]float64, grid.Len())
+	for i := range power {
+		power[i] = model.ActivePower(grid.Step(i))
+	}
+	return newDomainCurve(grid, power, capW, cores), nil
+}
+
+// newDomainCurve builds a domain over an explicit power curve. It exists
+// so tests can pin non-monotone curves, which the physical PowerModel
+// (strictly increasing in frequency) cannot produce.
+func newDomainCurve(grid cpu.Grid, power []float64, capW float64, cores int) *Domain {
 	d := &Domain{
-		capW:  capW,
-		grid:  grid,
-		power: make([]float64, grid.Len()),
-		rem:   make([]float64, cores),
-		debit: make([]float64, cores),
+		capW:     capW,
+		grid:     grid,
+		power:    power,
+		floorIdx: make([]int, len(power)),
+		rem:      make([]float64, cores),
+		debit:    make([]float64, cores),
 	}
-	for i := range d.power {
-		d.power[i] = model.ActivePower(grid.Step(i))
+	d.minPowerW, d.maxPowerW = power[0], power[0]
+	arg := 0
+	for i, p := range power {
+		if p < power[arg] {
+			arg = i
+		}
+		d.floorIdx[i] = arg
+		if p < d.minPowerW {
+			d.minPowerW = p
+		}
+		if p > d.maxPowerW {
+			d.maxPowerW = p
+		}
 	}
-	return d, nil
+	return d
 }
 
 // CapW returns the domain budget in watts.
 func (d *Domain) CapW() float64 { return d.capW }
+
+// SetCapW retargets the domain budget between allocation rounds — the
+// hierarchical budget tree re-grants socket caps at epoch barriers. Like
+// NewDomain, the cap must be positive; +Inf (never binding) is allowed.
+func (d *Domain) SetCapW(w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("capping: cap must be positive, got %v W", w)
+	}
+	d.capW = w
+	return nil
+}
+
+// MinPowerW returns the cheapest step's active power — the true curve
+// minimum, which on a non-monotone curve need not be power[0].
+func (d *Domain) MinPowerW() float64 { return d.minPowerW }
+
+// MaxPowerW returns the most expensive step's active power — the
+// per-core ceiling a budget hierarchy uses to bound leaf demand.
+func (d *Domain) MaxPowerW() float64 { return d.maxPowerW }
+
+// FloorIdx returns the cheapest step at or below desired (lowest index on
+// ties): the floor an infeasible round grants, since grants never exceed
+// the desire and nothing at or below it costs less.
+func (d *Domain) FloorIdx(desired int) int { return d.floorIdx[desired] }
 
 // Grid returns the domain's frequency grid.
 func (d *Domain) Grid() cpu.Grid { return d.grid }
@@ -113,12 +170,14 @@ func (d *Domain) PowerOf(grants []int) float64 {
 	return sum
 }
 
-// Feasible reports whether n cores at the minimum step fit the budget. An
-// infeasible domain cannot honor its cap at any allocation; allocators
-// then grant the minimum everywhere and the caller accounts the excess
-// time (DomainStats.CapExceededNs).
+// Feasible reports whether n cores at the cheapest step fit the budget.
+// An infeasible domain cannot honor its cap at any allocation; allocators
+// then grant each core its cheapest step at or below the desire (FloorIdx)
+// and the caller accounts the excess time (DomainStats.CapExceededNs).
+// The check uses the true curve minimum: on a non-monotone curve power[0]
+// can overstate the floor and misreport a feasible domain as infeasible.
 func (d *Domain) Feasible(n int) bool {
-	return float64(n)*d.power[0] <= d.capW
+	return float64(n)*d.minPowerW <= d.capW
 }
 
 // maxIdxWithin returns the highest grid index whose active power fits

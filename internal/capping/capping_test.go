@@ -162,9 +162,9 @@ func TestAllocatorInvariants(t *testing.T) {
 				}
 				if !d.Feasible(n) {
 					for i, g := range grants {
-						if g != 0 {
-							t.Fatalf("trial %d: infeasible domain granted core %d step %d, want minimum",
-								trial, i, g)
+						if want := d.FloorIdx(demands[i].DesiredIdx); g != want {
+							t.Fatalf("trial %d: infeasible domain granted core %d step %d, want floor %d",
+								trial, i, g, want)
 						}
 					}
 				}
@@ -180,6 +180,111 @@ func TestAllocatorInvariants(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestNonMonotoneCurve pins the Feasible/infeasible-floor fix: the power
+// curve need not be monotone (maxIdxWithin documents this), so the true
+// curve minimum — not power[0] — decides feasibility, and infeasible
+// rounds must settle on each core's cheapest admissible step rather than
+// index 0. The physical PowerModel is strictly increasing in frequency,
+// so the curve is injected directly.
+func TestNonMonotoneCurve(t *testing.T) {
+	grid, err := cpu.NewGrid([]int{800, 1200, 1600, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := []float64{5, 1, 3, 4} // cheapest step is index 1, not 0
+
+	d := newDomainCurve(grid, curve, 3.5, 3)
+	if d.MinPowerW() != 1 || d.MaxPowerW() != 5 {
+		t.Fatalf("curve extremes = (%v, %v), want (1, 5)", d.MinPowerW(), d.MaxPowerW())
+	}
+	for i, want := range []int{0, 1, 1, 1} {
+		if got := d.FloorIdx(i); got != want {
+			t.Fatalf("FloorIdx(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// 3 cores fit at 1 W each within 3.5 W; the old power[0]-based check
+	// (3*5 = 15 W) misreported this domain as infeasible.
+	if !d.Feasible(3) {
+		t.Fatal("Feasible used power[0] instead of the curve minimum")
+	}
+	top := grid.Len() - 1
+	demands := []Demand{{DesiredIdx: top}, {DesiredIdx: top}, {DesiredIdx: top}}
+	for _, name := range Names() {
+		alloc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grants := make([]int, 3)
+		alloc.Allocate(d, demands, grants)
+		if sum := d.PowerOf(grants); sum > 3.5+sumEps(3.5) {
+			t.Fatalf("%s: feasible domain exceeded budget: Σ=%v W (grants %v)", name, sum, grants)
+		}
+	}
+
+	// Below 3 * MinPowerW the domain is genuinely infeasible; every
+	// strategy must floor to step 1 (1 W each), not step 0 (5 W each).
+	d2 := newDomainCurve(grid, curve, 2.5, 3)
+	if d2.Feasible(3) {
+		t.Fatal("2.5 W cannot admit 3 cores at 1 W")
+	}
+	for _, name := range Names() {
+		alloc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grants := make([]int, 3)
+		alloc.Allocate(d2, demands, grants)
+		if want := []int{1, 1, 1}; !reflect.DeepEqual(grants, want) {
+			t.Fatalf("%s: infeasible round granted %v, want cheapest steps %v", name, grants, want)
+		}
+	}
+
+	// A desire below the cheap step keeps the floor at or below the
+	// desire: grants never exceed DesiredIdx even when a cheaper step
+	// exists above it.
+	low := []Demand{{DesiredIdx: 0}, {DesiredIdx: 0}, {DesiredIdx: 0}}
+	for _, name := range Names() {
+		alloc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grants := make([]int, 3)
+		alloc.Allocate(d2, low, grants)
+		if want := []int{0, 0, 0}; !reflect.DeepEqual(grants, want) {
+			t.Fatalf("%s: desire-0 floor = %v, want %v", name, grants, want)
+		}
+	}
+}
+
+// TestSetCapW pins budget retargeting: the hierarchy re-grants socket
+// caps between rounds, so the same domain must re-allocate under the new
+// budget, and invalid caps must be rejected.
+func TestSetCapW(t *testing.T) {
+	d := testDomain(t, 80, 4)
+	top := d.Grid().Len() - 1
+	demands := []Demand{{DesiredIdx: top}, {DesiredIdx: top}, {DesiredIdx: top}, {DesiredIdx: top}}
+	grants := make([]int, 4)
+	Waterfill{}.Allocate(d, demands, grants)
+	if !reflect.DeepEqual(grants, []int{top, top, top, top}) {
+		t.Fatalf("80 W should admit all desires: %v", grants)
+	}
+	if err := d.SetCapW(12); err != nil {
+		t.Fatal(err)
+	}
+	if d.CapW() != 12 {
+		t.Fatalf("CapW = %v after SetCapW(12)", d.CapW())
+	}
+	Waterfill{}.Allocate(d, demands, grants)
+	if sum := d.PowerOf(grants); sum > 12+sumEps(12) {
+		t.Fatalf("retargeted budget exceeded: Σ=%v W (grants %v)", sum, grants)
+	}
+	for _, bad := range []float64{0, -3} {
+		if err := d.SetCapW(bad); err == nil {
+			t.Fatalf("SetCapW(%v) accepted", bad)
+		}
 	}
 }
 

@@ -15,13 +15,17 @@ func (Uniform) Name() string { return "uniform" }
 func (Uniform) Allocate(d *Domain, demands []Demand, grants []int) {
 	share := d.capW / float64(len(demands))
 	lid := d.maxIdxWithin(share)
-	if lid < 0 {
-		lid = 0 // infeasible share: the minimum step everywhere
-	}
 	for i, dem := range demands {
 		g := lid
 		if g > dem.DesiredIdx {
 			g = dem.DesiredIdx
+		}
+		if g < 0 || d.power[g] > share {
+			// No step fits the share at or below the desire — either the
+			// share is infeasible outright, or the desired clamp landed on
+			// a costlier step of a non-monotone curve. Grant the cheapest
+			// step the desire admits.
+			g = d.FloorIdx(dem.DesiredIdx)
 		}
 		grants[i] = g
 	}
@@ -76,7 +80,14 @@ func (GreedySlack) Allocate(d *Domain, demands []Demand, grants []int) {
 			}
 		}
 		if donor < 0 {
-			return // all at minimum: infeasible, caller accounts the excess
+			// All donors exhausted: infeasible. Settle on each core's
+			// cheapest admissible step (on the monotone physical curve that
+			// is step 0, where the donation loop already left everyone) and
+			// let the caller account the excess.
+			for i, dem := range demands {
+				grants[i] = d.FloorIdx(dem.DesiredIdx)
+			}
+			return
 		}
 		grants[donor]--
 		sum -= d.power[grants[donor]+1] - d.power[grants[donor]]
@@ -85,7 +96,7 @@ func (GreedySlack) Allocate(d *Domain, demands []Demand, grants []int) {
 }
 
 // Waterfill is FastCap-style iterative water-filling on the power curve:
-// start every core at the minimum step and repeatedly raise the
+// start every core at its cheapest admissible step and repeatedly raise the
 // lowest-granted core (ties to the lowest index) whose next step both
 // stays at or below its desired frequency and fits the remaining budget,
 // until no raise fits. Budget flows to the cores that asked for it —
@@ -110,12 +121,12 @@ func (Waterfill) Allocate(d *Domain, demands []Demand, grants []int) {
 	if d.PowerOf(grants) <= d.capW {
 		return
 	}
-	for i := range demands {
-		grants[i] = 0
+	for i, dem := range demands {
+		grants[i] = d.FloorIdx(dem.DesiredIdx)
 	}
 	sum := d.PowerOf(grants)
 	if sum > d.capW {
-		return // infeasible even at the minimum everywhere
+		return // infeasible even at each core's cheapest admissible step
 	}
 	for {
 		next := -1

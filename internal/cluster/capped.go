@@ -37,6 +37,16 @@ type domainCtl struct {
 	curSumW  float64
 	powerWNs float64 // time integral of granted power (W * ns)
 	exceed   bool
+
+	// Epoch demand integral (hierarchical fleets): time-weighted Σ desired
+	// power since the last barrier, accounted in fields of its own so
+	// reporting never perturbs the granted-power spans above — a
+	// hierarchical run whose caps never change stays bit-identical to the
+	// flat run, DomainStats included.
+	demEpochT sim.Time
+	demLastT  sim.Time
+	demWNs    float64 // time integral of desired power (W * ns)
+	curDesW   float64
 }
 
 // decide is the per-decision entry point: member's policy asked for
@@ -56,6 +66,8 @@ func (ctl *domainCtl) decide(member int, desiredMHz int, slack queueing.SlackRep
 		// Demand unchanged: the previous allocation still holds.
 		return grid.Step(ctl.granted[member])
 	}
+	ctl.accrueDemand()
+	ctl.curDesW += ctl.dom.PowerAt(dIdx) - ctl.dom.PowerAt(ctl.demands[member].DesiredIdx)
 	ctl.demands[member].DesiredIdx = dIdx
 	if slack != nil {
 		ctl.demands[member].SlackNs = slack.PredictedSlackNs(v)
@@ -113,6 +125,51 @@ func (ctl *domainCtl) accrueStats() {
 	if ctl.exceed {
 		ctl.stats.CapExceededNs += dt
 	}
+}
+
+// accrueDemand closes the desired-power span ending now.
+func (ctl *domainCtl) accrueDemand() {
+	now := ctl.eng.Now()
+	if dt := now - ctl.demLastT; dt > 0 {
+		ctl.demWNs += ctl.curDesW * float64(dt)
+		ctl.demLastT = now
+	}
+}
+
+// epochReport closes the demand window ending at the barrier time upTo
+// and returns the window's time-weighted mean desired power — the
+// socket's demand signal to the budget hierarchy. upTo may be past the
+// last fired event (the barrier is a wall, not an event); the next window
+// starts there.
+func (ctl *domainCtl) epochReport(upTo sim.Time) float64 {
+	if dt := upTo - ctl.demLastT; dt > 0 {
+		ctl.demWNs += ctl.curDesW * float64(dt)
+		ctl.demLastT = upTo
+	}
+	mean := ctl.curDesW
+	if span := upTo - ctl.demEpochT; span > 0 {
+		mean = ctl.demWNs / float64(span)
+	}
+	ctl.demWNs = 0
+	ctl.demEpochT = upTo
+	return mean
+}
+
+// applyCap retargets the domain budget and immediately re-allocates under
+// it. It runs as an engine event at an epoch boundary, so the accounting
+// spans split exactly there. An unchanged cap is a strict no-op — the
+// degenerate hierarchy (every barrier re-deriving the flat cap) must not
+// perturb the run. The hierarchy only grants positive watts, so a
+// non-positive cap cannot reach SetCapW here.
+func (ctl *domainCtl) applyCap(w float64) {
+	if w == ctl.dom.CapW() {
+		return
+	}
+	if err := ctl.dom.SetCapW(w); err != nil {
+		return
+	}
+	ctl.stats.CapW = w
+	ctl.reallocate()
 }
 
 // finalize closes the trailing span and returns the domain stats.
@@ -301,11 +358,29 @@ func (s *cappedSetup) attach(cores []*queueing.Core) {
 		for m, core := range ctl.idx {
 			c := cores[core]
 			ctl.cores[m] = c
-			ctl.demands[m] = capping.Demand{DesiredIdx: grid.Index(c.CurrentMHz())}
-			ctl.granted[m] = ctl.demands[m].DesiredIdx
+			dIdx := grid.Index(c.CurrentMHz())
+			if dIdx < 0 {
+				// Off-grid initial frequency: clamp up exactly as decide
+				// does, instead of letting -1 flow into the power curve.
+				dIdx = grid.Index(grid.ClampUp(float64(c.CurrentMHz())))
+			}
+			ctl.demands[m] = capping.Demand{DesiredIdx: dIdx}
+			ctl.granted[m] = dIdx
+			ctl.curDesW += ctl.dom.PowerAt(dIdx)
 		}
 		ctl.reallocate()
 	}
+}
+
+// epochDemandW closes every domain's demand window at the barrier time
+// upTo and returns the socket's total time-weighted mean desired power —
+// the demand signal a hierarchical fleet feeds the budget tree.
+func (s *cappedSetup) epochDemandW(upTo sim.Time) float64 {
+	var sum float64
+	for _, ctl := range s.ctls {
+		sum += ctl.epochReport(upTo)
+	}
+	return sum
 }
 
 // domainStats finalizes every domain's accounting (nil-safe; nil when the

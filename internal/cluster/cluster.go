@@ -324,15 +324,25 @@ func finalize(eng *sim.Engine, cores []*queueing.Core, dispatcher string, routed
 	return res
 }
 
-// RunSource simulates a streaming request source on a cluster: one shared
-// engine, Cores cores each under a fresh policy, with the dispatcher
-// routing every arrival pulled from the source. The dispatcher sees exact
-// queue state: all cores are accrued to the arrival instant before it
-// picks. Nothing materializes the stream, so a 10M-request scenario run
-// needs memory for the queue depths, not the request count (pair with
-// Core.DropCompletions). Completion-aware sources (closed-loop clients)
-// receive every core's completions.
-func RunSource(src workload.Source, cfg Config) (Result, error) {
+// socketSim is one cluster simulation split into (setup, advance,
+// result): exactly RunSource's body, but resumable, so the hierarchical
+// fleet can interleave many sockets at epoch barriers. RunSource composes
+// the three pieces in one shot, which keeps the split from ever drifting
+// from the single-shot path.
+type socketSim struct {
+	eng     *sim.Engine
+	cfg     Config
+	cores   []*queueing.Core
+	feed    *queueing.Feeder
+	capped  *cappedSetup
+	routed  []int
+	pickErr error
+	drained bool
+}
+
+// newSocketSim validates the config, assembles cores, capping, dispatch
+// and the source feeder, and leaves the engine primed at t=0.
+func newSocketSim(src workload.Source, cfg Config) (*socketSim, error) {
 	if cfg.Dispatcher == nil {
 		cfg.Dispatcher = NewRoundRobin()
 	}
@@ -348,19 +358,23 @@ func RunSource(src workload.Source, cfg Config) (Result, error) {
 	}
 	capped, err := wireCapping(eng, &cfg)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	cores, err := buildCores(eng, cfg)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	capped.attach(cores)
 
-	routed := make([]int, cfg.Cores)
+	s := &socketSim{
+		eng:    eng,
+		cfg:    cfg,
+		cores:  cores,
+		capped: capped,
+		routed: make([]int, cfg.Cores),
+	}
 	states := make([]CoreState, cfg.Cores)
-	var pickErr error
-	var feed *queueing.Feeder
-	feed = queueing.NewSourceFeeder(eng, src, func(req workload.Request) {
+	s.feed = queueing.NewSourceFeeder(eng, src, func(req workload.Request) {
 		// O(cores) per arrival: Accrue is O(1) (head progress only) and the
 		// queue-length/pending-work counters are maintained incrementally
 		// by each Core, so no core's queue is rescanned here.
@@ -378,31 +392,63 @@ func RunSource(src workload.Source, cfg Config) (Result, error) {
 			// A broken dispatcher must surface, not silently skew results;
 			// route to core 0 so the simulation still drains, and fail the
 			// run afterwards.
-			if pickErr == nil {
-				pickErr = fmt.Errorf("cluster: dispatcher %s picked core %d of %d for request %d",
+			if s.pickErr == nil {
+				s.pickErr = fmt.Errorf("cluster: dispatcher %s picked core %d of %d for request %d",
 					cfg.Dispatcher.Name(), i, len(cores), req.ID)
 			}
 			i = 0
 		}
-		routed[i]++
+		s.routed[i]++
 		cores[i].Enqueue(req)
 	})
 	if _, aware := src.(workload.CompletionAware); aware {
 		for _, c := range cores {
 			c.SetHooks(queueing.Hooks{
-				Completion: func(comp queueing.Completion) { feed.NotifyCompletion(comp.Done) },
+				Completion: func(comp queueing.Completion) { s.feed.NotifyCompletion(comp.Done) },
 			})
 		}
 	}
-	feed.Start()
+	s.feed.Start()
 	for _, c := range cores {
-		c.StartTicks(func() bool { return feed.Remaining() > 0 })
+		c.StartTicks(func() bool { return s.feed.Remaining() > 0 })
 	}
-	eng.RunUntilOrDrain(cfg.Core.Deadline)
-	if pickErr != nil {
-		return Result{}, pickErr
+	return s, nil
+}
+
+// advanceTo fires every event due by t without moving the clock past the
+// last one, and reports whether the simulation drained. Barriers that
+// fire nothing leave no trace (sim.Engine.RunEventsUntil), so a segmented
+// run observes exactly the clocks of an unsegmented one.
+func (s *socketSim) advanceTo(t sim.Time) bool {
+	if !s.drained {
+		s.drained = s.eng.RunEventsUntil(t)
 	}
-	return finalize(eng, cores, cfg.Dispatcher.Name(), routed, capped), nil
+	return s.drained
+}
+
+// result assembles the Result once advancing is done.
+func (s *socketSim) result() (Result, error) {
+	if s.pickErr != nil {
+		return Result{}, s.pickErr
+	}
+	return finalize(s.eng, s.cores, s.cfg.Dispatcher.Name(), s.routed, s.capped), nil
+}
+
+// RunSource simulates a streaming request source on a cluster: one shared
+// engine, Cores cores each under a fresh policy, with the dispatcher
+// routing every arrival pulled from the source. The dispatcher sees exact
+// queue state: all cores are accrued to the arrival instant before it
+// picks. Nothing materializes the stream, so a 10M-request scenario run
+// needs memory for the queue depths, not the request count (pair with
+// Core.DropCompletions). Completion-aware sources (closed-loop clients)
+// receive every core's completions.
+func RunSource(src workload.Source, cfg Config) (Result, error) {
+	s, err := newSocketSim(src, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.eng.RunUntilOrDrain(s.cfg.Core.Deadline)
+	return s.result()
 }
 
 // RunPerCoreSources simulates cores with dedicated request streams — no

@@ -70,12 +70,24 @@ type FleetConfig struct {
 	// CapW, when > 0, budgets every socket at CapW watts: each socket is
 	// one power domain spanning its cores, reconciled by Allocator
 	// (socket-local, like dispatch — see internal/capping). 0 = uncapped.
+	// Under a Hierarchy, CapW instead bounds what any socket may be
+	// granted (a physical per-socket ceiling on the leaf grants).
 	CapW float64
 	// Allocator is the per-socket budget strategy (default:
 	// capping.Waterfill). Allocators are stateless values (per-round
 	// scratch lives in each socket's Domain), so one value serves every
 	// socket concurrently.
 	Allocator capping.Allocator
+
+	// Hierarchy, when non-nil, runs the fleet under a nested budget tree
+	// (rack → PDU → ... → socket): the tree's leaf grants become
+	// time-varying per-socket caps, re-allocated from reported demand at
+	// Epoch barriers (see runFleetHier). Requires Epoch > 0.
+	Hierarchy *capping.HierarchySpec
+	// Epoch is the hierarchy's re-allocation cadence in simulated ns:
+	// sockets advance independently between barriers and exchange demand
+	// for caps at each multiple of Epoch.
+	Epoch sim.Time
 
 	// TableCacheEntries sizes the per-shard content-addressed tail-table
 	// rebuild cache: every socket a shard goroutine simulates shares one
@@ -153,8 +165,12 @@ type FleetResult struct {
 	// or no policy used it. Reporting only: socket results are invariant
 	// to cache hits (a verified hit is bitwise-identical to rebuilding),
 	// but because work stealing assigns sockets to shards by timing, the
-	// aggregate counts themselves may differ between runs.
+	// aggregate counts themselves may differ between runs. (Hierarchical
+	// runs use per-socket caches, so there the counts are deterministic.)
 	TableCache rubikcore.TableCacheStats
+	// Hierarchy holds the budget tree's per-level accounting when the
+	// fleet ran under FleetConfig.Hierarchy; nil for flat runs.
+	Hierarchy *capping.HierarchyStats
 }
 
 // coreLists flattens the fleet's per-core completion logs in global core
@@ -328,6 +344,12 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 		return FleetResult{}, fmt.Errorf("cluster: fleet needs a NewSource factory")
 	}
 	shards := cfg.shardCount()
+	if cfg.Hierarchy != nil {
+		return runFleetHier(cfg, shards)
+	}
+	if cfg.Epoch != 0 {
+		return FleetResult{}, fmt.Errorf("cluster: Epoch set without a Hierarchy")
+	}
 
 	results := make([]Result, cfg.Sockets)
 	errs := make([]error, cfg.Sockets)

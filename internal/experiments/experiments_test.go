@@ -19,7 +19,7 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"pmv", "fig15", "fig16",
 		"ablation", "pegasus", "clusterscale", "scenarios", "capping",
-		"fleetscale",
+		"fleetscale", "fleetcap",
 	}
 	reg := Registry()
 	have := map[string]bool{}

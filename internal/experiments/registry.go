@@ -68,6 +68,8 @@ func Registry() []Entry {
 			func(o Options) (Renderer, error) { return Capping(o) }},
 		{"clusterscale", "EXTENSION: multi-core cluster, cores x dispatcher x load sweep",
 			func(o Options) (Renderer, error) { return ClusterScale(o) }},
+		{"fleetcap", "EXTENSION: hierarchical rack->PDU->socket budgets vs flat division",
+			func(o Options) (Renderer, error) { return FleetCap(o) }},
 		{"fleetscale", "EXTENSION: sharded fleet, sockets x scenario x per-socket cap sweep",
 			func(o Options) (Renderer, error) { return FleetScale(o) }},
 		{"scenarios", "EXTENSION: arrival/service scenario shapes x schemes (streaming sources)",

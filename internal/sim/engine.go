@@ -333,6 +333,25 @@ func (e *Engine) RunUntilOrDrain(t Time) {
 	}
 }
 
+// RunEventsUntil executes events with timestamps <= t without advancing
+// the clock past the last fired event, and reports whether the queue
+// drained. A drained engine takes Run's end-of-run clock (the phantom
+// drain semantics). Unlike RunUntil, a barrier time that fires no events
+// leaves no trace on the clock, so segmenting a run at barriers
+// t_1 < t_2 < ... observes exactly the per-event clocks of a single
+// Run() — the epoch-capped fleet depends on that for byte-identity with
+// unsegmented runs.
+func (e *Engine) RunEventsUntil(t Time) bool {
+	e.run(t)
+	if e.pending == 0 {
+		if e.now < e.phantom {
+			e.now = e.phantom
+		}
+		return true
+	}
+	return false
+}
+
 // run fires every event with timestamp <= limit. It scans the wheel once
 // per expiring bucket, not once per event: after advanceTo, the active
 // bucket's remaining entries all precede everything else in the wheel

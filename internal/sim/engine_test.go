@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -360,5 +361,69 @@ func TestRunUntilOrDrain(t *testing.T) {
 	e.RunUntilOrDrain(0)
 	if !ran || e.Now() != 50 {
 		t.Fatalf("t=0 must drain: ran=%v now=%d", ran, e.Now())
+	}
+}
+
+// TestRunEventsUntilSegmented pins the epoch-barrier contract: slicing a
+// run at arbitrary barriers with RunEventsUntil fires the same events in
+// the same order and ends on exactly the clock one Run() produces — the
+// barriers themselves leave no trace. Rescheduling displacement is
+// included so the phantom drain clock is exercised too.
+func TestRunEventsUntilSegmented(t *testing.T) {
+	build := func(e *Engine, fired *[]Time) {
+		for _, at := range []Time{70, 10, 350, 130, 130, 520} {
+			at := at
+			e.At(at, func() { *fired = append(*fired, at) })
+		}
+		h := e.Register(func() { *fired = append(*fired, e.Now()) })
+		e.Reschedule(h, 90)
+		// Displace a far firing so the drain clock comes from phantom.
+		far := e.Register(func() {})
+		e.Reschedule(far, 900)
+		e.At(40, func() { e.Reschedule(far, 260) })
+	}
+
+	var wantFired []Time
+	want := NewEngine()
+	build(want, &wantFired)
+	want.Run()
+
+	var gotFired []Time
+	got := NewEngine()
+	build(got, &gotFired)
+	drained := false
+	for _, barrier := range []Time{10, 60, 60, 130, 200, 400} {
+		if got.RunEventsUntil(barrier) {
+			t.Fatalf("drained early at barrier %d", barrier)
+		}
+		if got.Now() > barrier {
+			t.Fatalf("clock %d ran past barrier %d", got.Now(), barrier)
+		}
+		drained = got.Pending() == 0
+	}
+	if drained {
+		t.Fatal("events must remain after the last barrier")
+	}
+	if !got.RunEventsUntil(1 << 50) {
+		t.Fatal("final segment did not drain")
+	}
+	if got.Now() != want.Now() {
+		t.Fatalf("segmented clock %d != Run clock %d", got.Now(), want.Now())
+	}
+	if !reflect.DeepEqual(gotFired, wantFired) {
+		t.Fatalf("segmented firing order %v != Run order %v", gotFired, wantFired)
+	}
+
+	// A barrier at an event's exact timestamp fires it (<= semantics), and
+	// the clock rests on the event, not the barrier.
+	e2 := NewEngine()
+	n := 0
+	e2.At(100, func() { n++ })
+	e2.At(150, func() { n++ })
+	if e2.RunEventsUntil(100) {
+		t.Fatal("event at 150 still pending")
+	}
+	if n != 1 || e2.Now() != 100 {
+		t.Fatalf("barrier-at-timestamp: fired %d, clock %d; want 1 fired at clock 100", n, e2.Now())
 	}
 }

@@ -56,6 +56,7 @@ import (
 	"rubik/internal/experiments"
 	"rubik/internal/policy"
 	"rubik/internal/queueing"
+	"rubik/internal/sim"
 	"rubik/internal/workload"
 )
 
@@ -154,6 +155,23 @@ type (
 	// PowerDomainStats is the per-domain budget accounting of a capped
 	// cluster run (ClusterResult.Capping).
 	PowerDomainStats = capping.DomainStats
+	// HierarchySpec describes a budget tree (rack -> PDU -> ... -> socket)
+	// for hierarchical fleet capping (FleetConfig.Hierarchy).
+	HierarchySpec = capping.HierarchySpec
+	// LevelSpec is one level of a HierarchySpec: node count, optional
+	// per-node cap, oversubscription ratio and allocator.
+	LevelSpec = capping.LevelSpec
+	// LevelAllocator divides one tree node's budget among its children
+	// (StaticLevelAllocator, WaterfillLevelAllocator).
+	LevelAllocator = capping.LevelAllocator
+	// HierarchyStats is the per-level accounting of a hierarchical fleet
+	// run (FleetResult.Hierarchy).
+	HierarchyStats = capping.HierarchyStats
+	// LevelStats is one level's grant statistics within HierarchyStats.
+	LevelStats = capping.LevelStats
+	// Time is a simulated timestamp or duration in nanoseconds
+	// (FleetConfig.Epoch, ServerConfig.Deadline).
+	Time = sim.Time
 )
 
 // NominalMHz is the nominal core frequency (2.4 GHz, paper Table 2).
@@ -404,6 +422,19 @@ func WaterfillAllocator() Allocator { return capping.Waterfill{} }
 // AllocatorByName looks an allocator strategy up by name (uniform,
 // greedy-slack, waterfill).
 func AllocatorByName(name string) (Allocator, error) { return capping.ByName(name) }
+
+// StaticLevelAllocator divides a tree node's budget into equal per-child
+// shares regardless of demand.
+func StaticLevelAllocator() LevelAllocator { return capping.StaticLevel{} }
+
+// WaterfillLevelAllocator raises children toward their reported demands
+// lowest-first, then spreads any surplus toward their maxima (the default
+// level strategy).
+func WaterfillLevelAllocator() LevelAllocator { return capping.WaterfillLevel{} }
+
+// LevelAllocatorByName looks a tree-level allocator up by name (static,
+// waterfill).
+func LevelAllocatorByName(name string) (LevelAllocator, error) { return capping.LevelByName(name) }
 
 // FreqForPower returns the highest grid frequency whose active core power
 // fits budgetW; ok is false when even the minimum step exceeds it.

@@ -78,8 +78,8 @@ func TestFacadeStaticOracle(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(rubik.Experiments()) != 24 {
-		t.Fatalf("experiments = %d, want 24", len(rubik.Experiments()))
+	if len(rubik.Experiments()) != 25 {
+		t.Fatalf("experiments = %d, want 25", len(rubik.Experiments()))
 	}
 	var buf bytes.Buffer
 	opts := rubik.ExperimentOptions{Quick: true, Seed: 1}
